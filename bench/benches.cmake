@@ -1,0 +1,29 @@
+# One binary per paper table/figure (see DESIGN.md section 5).
+function(leo_add_bench name)
+    add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)
+    target_link_libraries(${name} PRIVATE leo_core leo_experiments)
+    set_target_properties(${name} PROPERTIES
+        RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+leo_add_bench(fig01_motivation)
+leo_add_bench(fig04_covariance)
+leo_add_bench(fig05_perf_accuracy)
+leo_add_bench(fig06_power_accuracy)
+leo_add_bench(fig07_perf_examples)
+leo_add_bench(fig08_power_examples)
+leo_add_bench(fig09_pareto)
+leo_add_bench(fig10_energy_vs_utilization)
+leo_add_bench(fig11_energy_summary)
+leo_add_bench(fig12_sensitivity)
+leo_add_bench(fig13_phases)
+leo_add_bench(tab01_phase_energy)
+
+# Section 6.7 overhead microbenchmark (google-benchmark).
+leo_add_bench(overhead_leo)
+target_link_libraries(overhead_leo PRIVATE benchmark::benchmark)
+
+# Ablation benches for the design choices called out in DESIGN.md.
+leo_add_bench(abl01_em_init)
+leo_add_bench(abl02_active_sampling)
+leo_add_bench(abl03_hyperparams)

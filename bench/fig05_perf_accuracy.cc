@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 5: performance-estimation accuracy across all 25 benchmarks.
+ *
+ * Protocol of Section 6.3: 20 random samples, leave-one-out prior,
+ * accuracy per Equation (5), averaged over trials (paper: 10;
+ * default here: LEO_BENCH_TRIALS or 2). Paper means: LEO 0.97,
+ * Online 0.87, Offline 0.68.
+ */
+
+#include "bench_common.hh"
+
+#include "experiments/accuracy.hh"
+
+using namespace leo;
+
+int
+main()
+{
+    const std::size_t trials = bench::trials();
+    bench::banner(
+        "Figure 5 — performance estimation accuracy (25 benchmarks)",
+        "paper means: LEO 0.97 / Online 0.87 / Offline 0.68");
+    std::printf("trials per benchmark: %zu (paper: 10; set "
+                "LEO_BENCH_TRIALS to change)\n\n",
+                trials);
+
+    platform::Machine machine;
+    auto space = platform::ConfigSpace::fullFactorial(machine);
+    experiments::AccuracyOptions opt;
+    opt.trials = trials;
+    opt.sampleBudget = 20;
+    opt.seed = bench::seed();
+
+    auto rows = experiments::runAccuracyExperiment(
+        estimators::Metric::Performance, machine, space,
+        workloads::standardSuite(), opt);
+
+    experiments::TextTable table(
+        {"benchmark", "leo", "online", "offline"});
+    for (const auto &r : rows)
+        table.addRow({r.application, experiments::fmt(r.leo),
+                      experiments::fmt(r.online),
+                      experiments::fmt(r.offline)});
+    std::printf("%s\n", table.render().c_str());
+    std::printf("MEAN  leo %.3f (paper 0.97)   online %.3f (paper "
+                "0.87)   offline %.3f (paper 0.68)\n",
+                experiments::meanAccuracy(
+                    rows, &experiments::AccuracyRow::leo),
+                experiments::meanAccuracy(
+                    rows, &experiments::AccuracyRow::online),
+                experiments::meanAccuracy(
+                    rows, &experiments::AccuracyRow::offline));
+    return 0;
+}

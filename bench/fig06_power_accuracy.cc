@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 6: power-estimation accuracy across all 25 benchmarks.
+ *
+ * Same protocol as Figure 5, scoring Watts instead of heartbeats.
+ * Paper means: LEO 0.98, Online 0.85, Offline 0.89.
+ */
+
+#include "bench_common.hh"
+
+#include "experiments/accuracy.hh"
+
+using namespace leo;
+
+int
+main()
+{
+    const std::size_t trials = bench::trials();
+    bench::banner(
+        "Figure 6 — power estimation accuracy (25 benchmarks)",
+        "paper means: LEO 0.98 / Online 0.85 / Offline 0.89");
+    std::printf("trials per benchmark: %zu (paper: 10; set "
+                "LEO_BENCH_TRIALS to change)\n\n",
+                trials);
+
+    platform::Machine machine;
+    auto space = platform::ConfigSpace::fullFactorial(machine);
+    experiments::AccuracyOptions opt;
+    opt.trials = trials;
+    opt.sampleBudget = 20;
+    opt.seed = bench::seed();
+
+    auto rows = experiments::runAccuracyExperiment(
+        estimators::Metric::Power, machine, space,
+        workloads::standardSuite(), opt);
+
+    experiments::TextTable table(
+        {"benchmark", "leo", "online", "offline"});
+    for (const auto &r : rows)
+        table.addRow({r.application, experiments::fmt(r.leo),
+                      experiments::fmt(r.online),
+                      experiments::fmt(r.offline)});
+    std::printf("%s\n", table.render().c_str());
+    std::printf("MEAN  leo %.3f (paper 0.98)   online %.3f (paper "
+                "0.85)   offline %.3f (paper 0.89)\n",
+                experiments::meanAccuracy(
+                    rows, &experiments::AccuracyRow::leo),
+                experiments::meanAccuracy(
+                    rows, &experiments::AccuracyRow::online),
+                experiments::meanAccuracy(
+                    rows, &experiments::AccuracyRow::offline));
+    return 0;
+}

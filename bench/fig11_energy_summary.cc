@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Figure 11: average energy normalized to optimal, per benchmark.
+ *
+ * For every one of the 25 applications, sweep utilization, execute
+ * each approach's plan against the truth, average over the sweep and
+ * normalize to optimal. Paper means: LEO +6%, Online +24%,
+ * Offline +29%, race-to-idle +90%.
+ */
+
+#include "bench_common.hh"
+
+#include "experiments/energy.hh"
+
+using namespace leo;
+
+int
+main()
+{
+    bench::banner("Figure 11 — mean energy normalized to optimal, "
+                  "all 25 benchmarks",
+                  "paper means: LEO 1.06 / Online 1.24 / Offline 1.29 "
+                  "/ race-to-idle 1.90");
+
+    bench::World w = bench::fullWorld();
+    experiments::EnergyOptions opt;
+    opt.utilizationLevels =
+        experiments::envSize("LEO_BENCH_UTIL_LEVELS", 20);
+    opt.sampleBudget = 20;
+    opt.seed = bench::seed();
+
+    experiments::TextTable t(
+        {"benchmark", "leo", "online", "offline", "race"});
+    double m_leo = 0, m_on = 0, m_off = 0, m_race = 0;
+    const auto &suite = workloads::standardSuite();
+    for (const auto &profile : suite) {
+        auto curve = experiments::runEnergyExperiment(
+            profile, w.machine, w.space,
+            w.store.without(profile.name), opt);
+        const double leo =
+            curve.meanRelative(&experiments::EnergyPoint::leo);
+        const double on =
+            curve.meanRelative(&experiments::EnergyPoint::online);
+        const double off =
+            curve.meanRelative(&experiments::EnergyPoint::offline);
+        const double race =
+            curve.meanRelative(&experiments::EnergyPoint::raceToIdle);
+        t.addRow({profile.name, experiments::fmt(leo),
+                  experiments::fmt(on), experiments::fmt(off),
+                  experiments::fmt(race)});
+        m_leo += leo;
+        m_on += on;
+        m_off += off;
+        m_race += race;
+    }
+    const double n = static_cast<double>(suite.size());
+    std::printf("%s\n", t.render().c_str());
+    std::printf("MEAN  leo %.3f (paper 1.06)   online %.3f (paper "
+                "1.24)   offline %.3f (paper 1.29)   race %.3f "
+                "(paper 1.90)\n",
+                m_leo / n, m_on / n, m_off / n, m_race / n);
+    return 0;
+}

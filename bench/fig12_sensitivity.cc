@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figure 12: estimation accuracy vs number of measured samples.
+ *
+ * Sweeps the sample budget and reports mean accuracy over the suite
+ * for LEO and the Online baseline, for both performance (a) and
+ * power (b). Paper claims: the online method is rank deficient —
+ * effectively 0 accuracy — below 15 samples; LEO with 0 samples
+ * equals the offline method and climbs quickly.
+ *
+ * Default runs on a 512-configuration reduction of the space to
+ * bound single-core runtime; set LEO_BENCH_FULL=1 for all 1024
+ * configurations (the sample-count thresholds do not depend on the
+ * space size).
+ */
+
+#include "bench_common.hh"
+
+#include "experiments/accuracy.hh"
+
+using namespace leo;
+
+int
+main()
+{
+    bench::banner("Figure 12 — accuracy vs sample size",
+                  "online needs >= 15 samples (design-matrix rank); "
+                  "LEO degrades gracefully to offline at 0");
+
+    bench::World w = bench::sweepWorld();
+    std::printf("space: %s, trials per point: %zu\n\n",
+                w.space.name().c_str(), bench::trials(1));
+
+    const std::size_t budgets[] = {0,  5,  10, 14, 15,
+                                   20, 30, 50, 80};
+
+    for (auto metric : {estimators::Metric::Performance,
+                        estimators::Metric::Power}) {
+        std::printf("(%s)\n",
+                    metric == estimators::Metric::Performance
+                        ? "a: performance"
+                        : "b: power");
+        experiments::TextTable t(
+            {"samples", "leo", "online", "offline"});
+        for (std::size_t budget : budgets) {
+            experiments::AccuracyOptions opt;
+            opt.trials = bench::trials(1);
+            opt.sampleBudget = budget;
+            opt.seed = bench::seed() + budget;
+            auto rows = experiments::runAccuracyExperiment(
+                metric, w.machine, w.space,
+                workloads::standardSuite(), opt);
+            t.addRow({std::to_string(budget),
+                      experiments::fmt(experiments::meanAccuracy(
+                          rows, &experiments::AccuracyRow::leo)),
+                      experiments::fmt(experiments::meanAccuracy(
+                          rows, &experiments::AccuracyRow::online)),
+                      experiments::fmt(experiments::meanAccuracy(
+                          rows, &experiments::AccuracyRow::offline))});
+        }
+        std::printf("%s\n", t.render().c_str());
+    }
+    return 0;
+}

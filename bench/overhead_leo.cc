@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Section 6.7: the cost of running LEO itself.
+ *
+ * The paper measures 0.8 s average execution time per metric on the
+ * 2012-era testbed. This google-benchmark binary times one EM fit
+ * (per metric) as a function of the configuration-space size, plus
+ * the downstream hull walk, which is negligible by comparison.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "estimators/leo.hh"
+#include "optimizer/schedule.hh"
+#include "platform/config_space.hh"
+#include "telemetry/profile_store.hh"
+#include "telemetry/sampler.hh"
+#include "workloads/ground_truth.hh"
+#include "workloads/suite.hh"
+
+using namespace leo;
+
+namespace
+{
+
+struct FitSetup
+{
+    platform::Machine machine;
+    platform::ConfigSpace space;
+    std::vector<linalg::Vector> prior;
+    std::vector<std::size_t> obs_idx;
+    linalg::Vector obs_vals;
+};
+
+/** Build a fit problem on a space with the given speed stride. */
+FitSetup
+makeSetup(unsigned core_stride, unsigned speed_stride)
+{
+    FitSetup s{platform::Machine{},
+               platform::ConfigSpace::reducedFactorial(
+                   platform::Machine{}, core_stride, speed_stride),
+               {},
+               {},
+               {}};
+    stats::Rng rng(7);
+    telemetry::HeartbeatMonitor monitor;
+    telemetry::WattsUpMeter meter;
+    auto store = telemetry::ProfileStore::collect(
+        workloads::standardSuite(), s.machine, s.space, monitor,
+        meter, rng);
+    auto loo = store.without("kmeans");
+    s.prior = estimators::priorVectors(
+        loo, estimators::Metric::Performance);
+
+    workloads::ApplicationModel app(
+        workloads::profileByName("kmeans"), s.machine);
+    telemetry::Profiler prof(monitor, meter);
+    telemetry::RandomSampler pol;
+    auto obs = prof.sample(app, s.space, pol, 20, rng);
+    s.obs_idx = obs.indices;
+    s.obs_vals = obs.performance;
+    return s;
+}
+
+void
+BM_LeoFit(benchmark::State &state)
+{
+    // Space size shrinks with the stride arguments.
+    const unsigned core_stride = static_cast<unsigned>(state.range(0));
+    const unsigned speed_stride =
+        static_cast<unsigned>(state.range(1));
+    FitSetup s = makeSetup(core_stride, speed_stride);
+    estimators::LeoEstimator est;
+    for (auto _ : state) {
+        auto fit =
+            est.fitMetric(s.prior, s.obs_idx, s.obs_vals);
+        benchmark::DoNotOptimize(fit.prediction);
+    }
+    state.counters["configs"] =
+        static_cast<double>(s.space.size());
+}
+
+void
+BM_HullWalk(benchmark::State &state)
+{
+    platform::Machine machine;
+    auto space = platform::ConfigSpace::fullFactorial(machine);
+    workloads::ApplicationModel app(
+        workloads::profileByName("kmeans"), machine);
+    auto gt = workloads::computeGroundTruth(app, space);
+    optimizer::PerformanceConstraint c{
+        0.5 * gt.performance.max() * 100.0, 100.0};
+    for (auto _ : state) {
+        auto plan = optimizer::planMinimalEnergy(
+            gt.performance, gt.power,
+            machine.spec().idleSystemPowerW, c);
+        benchmark::DoNotOptimize(plan.predictedEnergy);
+    }
+}
+
+} // namespace
+
+// n = 128, 256, 512, 1024 configurations.
+BENCHMARK(BM_LeoFit)
+    ->Args({4, 2})
+    ->Args({2, 2})
+    ->Args({1, 2})
+    ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK(BM_HullWalk)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Quickstart: the whole LEO pipeline in one page.
+ *
+ * Build the paper's platform (dual-Xeon, 1024 configurations),
+ * collect the offline database from the 25-benchmark suite, observe a
+ * "new" application in 20 random configurations, estimate its
+ * performance and power everywhere with the hierarchical Bayesian
+ * model, and pick the minimal-energy schedule for a 50% utilization
+ * demand.
+ *
+ *   ./quickstart [benchmark-name]     (default: kmeans)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/leo_system.hh"
+#include "stats/metrics.hh"
+#include "workloads/ground_truth.hh"
+#include "workloads/suite.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace leo;
+    const std::string name = argc > 1 ? argv[1] : "kmeans";
+
+    // 1. The assembled system: machine + 1024-config space + offline
+    //    profiles of the 25-benchmark suite.
+    std::printf("Building LEO system (collecting offline profiles)...\n");
+    auto sys = core::LeoSystem::withStandardSuite();
+
+    // 2. A "new" application arrives. (In this simulator it is a
+    //    synthetic model; on real hardware it would be a heartbeat-
+    //    instrumented process.)
+    workloads::ApplicationModel target(
+        workloads::profileByName(name), sys.machine());
+
+    // 3. Observe it in a handful of configurations.
+    stats::Rng rng(7);
+    auto obs = sys.observe(target, rng);
+    std::printf("Observed %zu of %zu configurations.\n", obs.size(),
+                sys.space().size());
+
+    // 4. Estimate everything. Exclude the target from the prior so
+    //    this is an honest leave-one-out prediction.
+    auto est = sys.estimate(obs, name);
+
+    auto truth = workloads::computeGroundTruth(target, sys.space());
+    std::printf("Estimation accuracy (Equation 5): "
+                "performance %.3f, power %.3f\n",
+                stats::accuracy(est.performance.values,
+                                truth.performance),
+                stats::accuracy(est.power.values, truth.power));
+
+    // 5. Minimize energy for a 50% utilization demand.
+    optimizer::PerformanceConstraint constraint;
+    constraint.deadlineSeconds = 100.0;
+    constraint.work =
+        0.5 * truth.performance.max() * constraint.deadlineSeconds;
+
+    auto plan = sys.minimizeEnergy(est, constraint);
+    std::printf("\nMinimal-energy plan for 50%% utilization "
+                "(W = %.0f heartbeats, T = %.0f s):\n",
+                constraint.work, constraint.deadlineSeconds);
+    for (const auto &part : plan.parts) {
+        if (part.configIndex == optimizer::kIdleConfig) {
+            std::printf("  idle                 %8.2f s\n",
+                        part.seconds);
+        } else {
+            std::printf("  config %4zu (%s)  %8.2f s\n",
+                        part.configIndex,
+                        sys.space().describe(part.configIndex).c_str(),
+                        part.seconds);
+        }
+    }
+
+    const double idle = sys.machine().spec().idleSystemPowerW;
+    auto run = optimizer::executeScheduleGuarded(
+        plan, truth.performance, truth.power, idle, constraint);
+    auto best = optimizer::executeScheduleGuarded(
+        optimizer::planMinimalEnergy(truth.performance, truth.power,
+                                     idle, constraint),
+        truth.performance, truth.power, idle, constraint);
+    optimizer::Schedule race;
+    race.parts.push_back(
+        {sys.space().size() - 1, constraint.deadlineSeconds});
+    auto raced = optimizer::executeSchedule(
+        race, truth.performance, truth.power, idle, constraint);
+
+    std::printf("\nMeasured energy: LEO plan %.0f J  |  optimal %.0f J"
+                "  |  race-to-idle %.0f J\n",
+                run.energyJoules, best.energyJoules,
+                raced.energyJoules);
+    std::printf("LEO is within %.1f%% of optimal; race-to-idle wastes "
+                "%.1f%%.\n",
+                100.0 * (run.energyJoules / best.energyJoules - 1.0),
+                100.0 * (raced.energyJoules / best.energyJoules - 1.0));
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Implementation of variance-guided active sampling.
+ */
+
+#include "estimators/active_sampling.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "linalg/error.hh"
+
+namespace leo::estimators
+{
+
+VarianceGuidedSampler::VarianceGuidedSampler(
+    ActiveSamplingOptions options)
+    : options_(options)
+{
+    require(options_.seedProbes >= 1,
+            "VarianceGuidedSampler: need >= 1 seed probe");
+    require(options_.batchSize >= 1,
+            "VarianceGuidedSampler: need >= 1 probe per batch");
+}
+
+telemetry::Observations
+VarianceGuidedSampler::collect(const MeasureFn &measure,
+                               const std::vector<linalg::Vector> &prior,
+                               std::size_t budget,
+                               stats::Rng &rng) const
+{
+    require(!prior.empty(),
+            "VarianceGuidedSampler: needs prior applications");
+    const std::size_t n = prior.front().size();
+    budget = std::min(budget, n);
+
+    telemetry::Observations obs;
+    std::vector<bool> seen(n, false);
+
+    auto probe = [&](std::size_t idx) {
+        telemetry::Sample s = measure(idx);
+        require(s.configIndex == idx,
+                "VarianceGuidedSampler: callback measured the wrong "
+                "configuration");
+        obs.push(s);
+        seen[idx] = true;
+    };
+
+    // Seed with random probes so the first fit has an anchor.
+    const std::size_t n_seed = std::min(options_.seedProbes, budget);
+    for (std::size_t idx :
+         rng.sampleWithoutReplacement(n, n_seed)) {
+        probe(idx);
+    }
+
+    const LeoEstimator estimator(options_.estimator);
+    while (obs.size() < budget) {
+        const LeoFit fit = estimator.fitMetric(prior, obs.indices,
+                                               obs.performance);
+
+        // Rank unobserved configurations by predictive variance.
+        std::vector<std::size_t> order;
+        order.reserve(n);
+        for (std::size_t c = 0; c < n; ++c)
+            if (!seen[c])
+                order.push_back(c);
+        invariant(!order.empty(),
+                  "active sampling exhausted the space early");
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                      return fit.predictionVariance[a] >
+                             fit.predictionVariance[b];
+                  });
+
+        const std::size_t take = std::min(
+            {options_.batchSize, budget - obs.size(), order.size()});
+        for (std::size_t k = 0; k < take; ++k)
+            probe(order[k]);
+    }
+    return obs;
+}
+
+} // namespace leo::estimators

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Shared estimator plumbing.
+ */
+
+#include "estimators/estimator.hh"
+
+namespace leo::estimators
+{
+
+Estimate
+Estimator::estimate(const EstimationInputs &inputs) const
+{
+    Estimate e;
+    e.performance = estimateMetric(
+        inputs.space, priorVectors(inputs.prior, Metric::Performance),
+        inputs.observations.indices, inputs.observations.performance);
+    e.power = estimateMetric(
+        inputs.space, priorVectors(inputs.prior, Metric::Power),
+        inputs.observations.indices, inputs.observations.power);
+    return e;
+}
+
+std::vector<linalg::Vector>
+priorVectors(const telemetry::ProfileStore &store, Metric metric)
+{
+    std::vector<linalg::Vector> out;
+    out.reserve(store.numApplications());
+    for (const telemetry::ApplicationRecord &r : store.records()) {
+        out.push_back(metric == Metric::Performance ? r.performance
+                                                    : r.power);
+    }
+    return out;
+}
+
+} // namespace leo::estimators

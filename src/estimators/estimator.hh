@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The estimator interface.
+ *
+ * An estimator predicts an application's performance and power in
+ * *every* configuration from (a) the offline profiles of previously
+ * seen applications and (b) a small set of online observations of the
+ * target application. The four approaches of Section 6.2 — LEO,
+ * Online, Offline and Exhaustive — all fit behind this interface.
+ */
+
+#ifndef LEO_ESTIMATORS_ESTIMATOR_HH
+#define LEO_ESTIMATORS_ESTIMATOR_HH
+
+#include <string>
+#include <vector>
+
+#include "linalg/vector.hh"
+#include "platform/config_space.hh"
+#include "telemetry/measurement.hh"
+#include "telemetry/profile_store.hh"
+
+namespace leo::estimators
+{
+
+/** Which quantity is being estimated. */
+enum class Metric
+{
+    Performance, //!< Heartbeat rate (r_c of Equation 1).
+    Power        //!< Wall power (p_c of Equation 1).
+};
+
+/** Result of estimating one metric across all configurations. */
+struct MetricEstimate
+{
+    /** Estimated value per configuration (raw units). */
+    linalg::Vector values;
+    /**
+     * False when the estimator could not produce a statistically
+     * meaningful fit (e.g. the online design matrix is rank deficient
+     * below 15 samples, Fig. 12).
+     */
+    bool reliable = true;
+    /** Iterations used by iterative fitters (EM), 0 otherwise. */
+    std::size_t iterations = 0;
+};
+
+/** Estimates of both metrics. */
+struct Estimate
+{
+    MetricEstimate performance;
+    MetricEstimate power;
+};
+
+/** Everything an estimator may draw on. */
+struct EstimationInputs
+{
+    /** The configuration space (knob values for regressions). */
+    const platform::ConfigSpace &space;
+    /** Offline profiles of other applications (may be empty). */
+    const telemetry::ProfileStore &prior;
+    /** Online observations of the target (may be empty). */
+    const telemetry::Observations &observations;
+};
+
+/**
+ * Abstract estimator. Implementations estimate one metric at a time;
+ * estimate() runs both.
+ */
+class Estimator
+{
+  public:
+    virtual ~Estimator() = default;
+
+    /** @return The approach's name ("leo", "online", "offline"). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Estimate one metric in every configuration.
+     *
+     * @param space    Configuration space.
+     * @param prior    One fully observed vector per prior application
+     *                 (this metric only); may be empty.
+     * @param obs_idx  Observed configuration indices Omega.
+     * @param obs_vals Observed values at those indices.
+     */
+    virtual MetricEstimate estimateMetric(
+        const platform::ConfigSpace &space,
+        const std::vector<linalg::Vector> &prior,
+        const std::vector<std::size_t> &obs_idx,
+        const linalg::Vector &obs_vals) const = 0;
+
+    /** Estimate performance and power from the bundled inputs. */
+    Estimate estimate(const EstimationInputs &inputs) const;
+};
+
+/**
+ * Extract the per-metric prior vectors from a profile store.
+ *
+ * @param store  The offline database.
+ * @param metric Which metric to extract.
+ * @return One vector per stored application.
+ */
+std::vector<linalg::Vector> priorVectors(
+    const telemetry::ProfileStore &store, Metric metric);
+
+} // namespace leo::estimators
+
+#endif // LEO_ESTIMATORS_ESTIMATOR_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Implementation of scale normalization.
+ */
+
+#include "estimators/normalization.hh"
+
+#include "linalg/error.hh"
+
+namespace leo::estimators
+{
+
+std::vector<linalg::Vector>
+normalizeShapes(const std::vector<linalg::Vector> &prior)
+{
+    std::vector<linalg::Vector> shapes;
+    shapes.reserve(prior.size());
+    for (const linalg::Vector &y : prior) {
+        require(!y.empty(), "normalizeShapes: empty prior vector");
+        const double m = y.mean();
+        require(m > 0.0, "normalizeShapes: non-positive prior mean");
+        shapes.push_back(y / m);
+    }
+    return shapes;
+}
+
+double
+observedScale(const linalg::Vector &obs_vals)
+{
+    require(!obs_vals.empty(), "observedScale: no observations");
+    const double m = obs_vals.mean();
+    require(m > 0.0, "observedScale: non-positive observation mean");
+    return m;
+}
+
+} // namespace leo::estimators

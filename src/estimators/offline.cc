@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Implementation of the Offline baseline.
+ */
+
+#include "estimators/offline.hh"
+
+#include "estimators/normalization.hh"
+#include "linalg/error.hh"
+
+namespace leo::estimators
+{
+
+linalg::Vector
+OfflineEstimator::meanShape(const std::vector<linalg::Vector> &prior)
+{
+    require(!prior.empty(), "OfflineEstimator: no prior applications");
+    const std::vector<linalg::Vector> shapes = normalizeShapes(prior);
+    linalg::Vector mean(shapes.front().size(), 0.0);
+    for (const linalg::Vector &s : shapes)
+        mean += s;
+    mean /= static_cast<double>(shapes.size());
+    return mean;
+}
+
+MetricEstimate
+OfflineEstimator::estimateMetric(
+    const platform::ConfigSpace &space,
+    const std::vector<linalg::Vector> &prior,
+    const std::vector<std::size_t> &obs_idx,
+    const linalg::Vector &obs_vals) const
+{
+    require(!prior.empty(), "OfflineEstimator: no prior applications");
+    require(prior.front().size() == space.size(),
+            "OfflineEstimator: prior/space size mismatch");
+
+    linalg::Vector shape = meanShape(prior);
+
+    MetricEstimate est;
+    if (!obs_idx.empty()) {
+        // Anchor the unit-mean shape to the target's observed scale.
+        const double target_scale = observedScale(obs_vals);
+        const double shape_at_obs = shape.gather(obs_idx).mean();
+        require(shape_at_obs > 0.0,
+                "OfflineEstimator: degenerate shape at observations");
+        shape *= target_scale / shape_at_obs;
+    }
+    est.values = std::move(shape);
+    est.reliable = true;
+    return est;
+}
+
+} // namespace leo::estimators

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The Offline baseline of Section 6.2.
+ *
+ * "This method takes the mean over the rest of the applications to
+ * estimate the power and performance of the given application... This
+ * strategy only uses prior information and does not update based on
+ * runtime observations."
+ */
+
+#ifndef LEO_ESTIMATORS_OFFLINE_HH
+#define LEO_ESTIMATORS_OFFLINE_HH
+
+#include "estimators/estimator.hh"
+
+namespace leo::estimators
+{
+
+/**
+ * Predicts the mean shape of the prior applications.
+ *
+ * The shape never adapts to the target; when observations exist they
+ * are used only to anchor the output scale (the raw-unit analogue of
+ * predicting in speedup space — see normalization.hh).
+ */
+class OfflineEstimator : public Estimator
+{
+  public:
+    std::string name() const override { return "offline"; }
+
+    MetricEstimate estimateMetric(
+        const platform::ConfigSpace &space,
+        const std::vector<linalg::Vector> &prior,
+        const std::vector<std::size_t> &obs_idx,
+        const linalg::Vector &obs_vals) const override;
+
+    /**
+     * The prior mean shape alone (unit mean), without scale
+     * anchoring. Useful as the EM initializer (Section 5.5 notes that
+     * initializing mu from the offline estimate improves accuracy).
+     */
+    static linalg::Vector meanShape(
+        const std::vector<linalg::Vector> &prior);
+};
+
+} // namespace leo::estimators
+
+#endif // LEO_ESTIMATORS_OFFLINE_HH

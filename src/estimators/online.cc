@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Implementation of the Online baseline.
+ */
+
+#include "estimators/online.hh"
+
+#include <algorithm>
+
+#include "linalg/error.hh"
+#include "linalg/least_squares.hh"
+#include "linalg/poly_features.hh"
+
+namespace leo::estimators
+{
+
+OnlineEstimator::OnlineEstimator(std::size_t degree) : degree_(degree)
+{
+    require(degree_ >= 1, "OnlineEstimator: degree must be >= 1");
+}
+
+MetricEstimate
+OnlineEstimator::estimateMetric(
+    const platform::ConfigSpace &space,
+    const std::vector<linalg::Vector> &prior,
+    const std::vector<std::size_t> &obs_idx,
+    const linalg::Vector &obs_vals) const
+{
+    (void)prior; // Online uses observations only.
+
+    MetricEstimate est;
+    est.values = linalg::Vector(space.size(), 0.0);
+
+    if (obs_idx.empty()) {
+        // Nothing observed: no model at all.
+        est.reliable = false;
+        return est;
+    }
+
+    const linalg::PolynomialFeatures features(space.numKnobs(), degree_);
+
+    // Build the design from the observed knob vectors.
+    std::vector<linalg::Vector> rows;
+    rows.reserve(obs_idx.size());
+    for (std::size_t idx : obs_idx) {
+        require(idx < space.size(),
+                "OnlineEstimator: observation index out of range");
+        rows.push_back(space.knobs(idx));
+    }
+    if (obs_idx.size() < features.numFeatures()) {
+        // Fewer samples than features: the design matrix is rank
+        // deficient and the regression is meaningless — "effectively
+        // 0 accuracy" below 15 samples (Fig. 12). Fall back to the
+        // observed mean so downstream consumers still get numbers.
+        est.values.fill(obs_vals.mean());
+        est.reliable = false;
+        return est;
+    }
+
+    const linalg::Matrix design = features.designMatrix(rows);
+    const linalg::LeastSquaresResult fit =
+        linalg::leastSquares(design, obs_vals);
+    // Binary knobs (hyperthreading, memory controllers) make their
+    // squared columns *structurally* collinear, so the rank may sit
+    // below the feature count even with ample samples; the QR solver
+    // zeroes the dependent coefficients, and because the dependency
+    // holds at every configuration the predictions stay well defined.
+
+    for (std::size_t c = 0; c < space.size(); ++c) {
+        const double v =
+            linalg::dot(features.expand(space.knobs(c)),
+                        fit.coefficients);
+        // Physical quantities are non-negative; clamp the
+        // extrapolation tails.
+        est.values[c] = std::max(v, 0.0);
+    }
+    est.reliable = true;
+    return est;
+}
+
+} // namespace leo::estimators

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Implementation of the accuracy experiment.
+ */
+
+#include "experiments/accuracy.hh"
+
+#include "estimators/leo.hh"
+#include "estimators/offline.hh"
+#include "estimators/online.hh"
+#include "linalg/error.hh"
+#include "stats/metrics.hh"
+#include "telemetry/profile_store.hh"
+#include "telemetry/sampler.hh"
+#include "workloads/ground_truth.hh"
+
+namespace leo::experiments
+{
+
+namespace
+{
+
+/**
+ * Score one estimate against truth, handling the unanchored
+ * zero-observation case (estimators then return unit-mean shapes; in
+ * the paper's speedup space no scale knowledge is needed, so the
+ * harness supplies the truth's scale — Equation (5) is invariant
+ * under that common factor).
+ */
+double
+score(const estimators::MetricEstimate &est,
+      const linalg::Vector &truth, bool anchored)
+{
+    if (anchored)
+        return stats::accuracy(est.values, truth);
+    const double est_mean = est.values.mean();
+    if (est_mean <= 0.0)
+        return 0.0;
+    const linalg::Vector rescaled =
+        est.values * (truth.mean() / est_mean);
+    return stats::accuracy(rescaled, truth);
+}
+
+} // namespace
+
+std::vector<AccuracyRow>
+runAccuracyExperiment(estimators::Metric metric,
+                      const platform::Machine &machine,
+                      const platform::ConfigSpace &space,
+                      const std::vector<workloads::ApplicationProfile> &apps,
+                      const AccuracyOptions &options)
+{
+    require(!apps.empty(), "runAccuracyExperiment: no applications");
+    require(options.trials >= 1,
+            "runAccuracyExperiment: need >= 1 trial");
+
+    stats::Rng master(options.seed);
+    const telemetry::HeartbeatMonitor monitor;
+    const telemetry::WattsUpMeter meter;
+    const telemetry::Profiler profiler(monitor, meter);
+    const telemetry::RandomSampler policy;
+
+    // Offline database over the full benchmark set (leave-one-out
+    // views are taken per target below).
+    const telemetry::ProfileStore store = telemetry::ProfileStore::collect(
+        apps, machine, space, monitor, meter, master);
+
+    const estimators::LeoEstimator leo_est;
+    const estimators::OnlineEstimator online_est;
+    const estimators::OfflineEstimator offline_est;
+
+    std::vector<AccuracyRow> rows;
+    rows.reserve(apps.size());
+
+    for (const workloads::ApplicationProfile &profile : apps) {
+        const workloads::ApplicationModel model(profile, machine);
+        const workloads::GroundTruth gt =
+            workloads::computeGroundTruth(model, space);
+        const linalg::Vector &truth =
+            metric == estimators::Metric::Performance ? gt.performance
+                                                      : gt.power;
+        const telemetry::ProfileStore prior =
+            store.without(profile.name);
+        const std::vector<linalg::Vector> prior_vecs =
+            estimators::priorVectors(prior, metric);
+
+        AccuracyRow row;
+        row.application = profile.name;
+
+        for (std::size_t t = 0; t < options.trials; ++t) {
+            stats::Rng rng = master.fork();
+            const telemetry::Observations obs = profiler.sample(
+                model, space, policy, options.sampleBudget, rng);
+            const linalg::Vector &obs_vals =
+                metric == estimators::Metric::Performance
+                    ? obs.performance
+                    : obs.power;
+            const bool anchored = !obs.indices.empty();
+
+            row.leo += score(leo_est.estimateMetric(space, prior_vecs,
+                                                    obs.indices,
+                                                    obs_vals),
+                             truth, anchored);
+            row.online += score(
+                online_est.estimateMetric(space, prior_vecs,
+                                          obs.indices, obs_vals),
+                truth, anchored);
+            row.offline += score(
+                offline_est.estimateMetric(space, prior_vecs,
+                                           obs.indices, obs_vals),
+                truth, anchored);
+        }
+        const double n = static_cast<double>(options.trials);
+        row.leo /= n;
+        row.online /= n;
+        row.offline /= n;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+double
+meanAccuracy(const std::vector<AccuracyRow> &rows,
+             double AccuracyRow::*column)
+{
+    require(!rows.empty(), "meanAccuracy: no rows");
+    double acc = 0.0;
+    for (const AccuracyRow &r : rows)
+        acc += r.*column;
+    return acc / static_cast<double>(rows.size());
+}
+
+} // namespace leo::experiments

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Implementation of the CSV interchange helpers.
+ */
+
+#include "experiments/csv.hh"
+
+#include <cctype>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "linalg/error.hh"
+
+namespace leo::experiments
+{
+
+namespace
+{
+
+/** Split a line on commas, trimming surrounding whitespace. */
+std::vector<std::string>
+splitCsvLine(const std::string &line)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    std::istringstream is(line);
+    while (std::getline(is, cell, ',')) {
+        const auto begin = cell.find_first_not_of(" \t\r");
+        const auto end = cell.find_last_not_of(" \t\r");
+        cells.push_back(begin == std::string::npos
+                            ? std::string{}
+                            : cell.substr(begin, end - begin + 1));
+    }
+    return cells;
+}
+
+/** True for lines CSV readers skip. */
+bool
+skippable(const std::string &line)
+{
+    for (char c : line) {
+        if (c == '#')
+            return true;
+        if (!std::isspace(static_cast<unsigned char>(c)))
+            return false;
+    }
+    return true;
+}
+
+double
+parseDouble(const std::string &cell, const std::string &context)
+{
+    try {
+        std::size_t used = 0;
+        const double v = std::stod(cell, &used);
+        require(used == cell.size(),
+                "trailing characters in number: " + context);
+        return v;
+    } catch (const std::exception &) {
+        fatal("cannot parse number '" + cell + "' in " + context);
+    }
+}
+
+} // namespace
+
+std::vector<NamedVector>
+readProfileTable(std::istream &in)
+{
+    std::vector<NamedVector> rows;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (skippable(line))
+            continue;
+        const std::vector<std::string> cells = splitCsvLine(line);
+        require(cells.size() >= 2,
+                "profile row needs a name and at least one value "
+                "(line " + std::to_string(lineno) + ")");
+        NamedVector row;
+        row.name = cells[0];
+        linalg::Vector v(cells.size() - 1);
+        for (std::size_t i = 1; i < cells.size(); ++i)
+            v[i - 1] = parseDouble(
+                cells[i], "line " + std::to_string(lineno));
+        row.values = std::move(v);
+        if (!rows.empty()) {
+            require(row.values.size() == rows.front().values.size(),
+                    "ragged profile table at line " +
+                        std::to_string(lineno));
+        }
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+void
+writeProfileTable(std::ostream &out,
+                  const std::vector<NamedVector> &rows)
+{
+    for (const NamedVector &row : rows) {
+        out << row.name;
+        for (double v : row.values)
+            out << ',' << v;
+        out << '\n';
+    }
+}
+
+std::pair<std::vector<std::size_t>, linalg::Vector>
+readObservations(std::istream &in)
+{
+    std::vector<std::size_t> indices;
+    std::vector<double> values;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (skippable(line))
+            continue;
+        const std::vector<std::string> cells = splitCsvLine(line);
+        require(cells.size() == 2,
+                "observation row must be 'index,value' (line " +
+                    std::to_string(lineno) + ")");
+        const double idx = parseDouble(
+            cells[0], "line " + std::to_string(lineno));
+        require(idx >= 0.0 && idx == static_cast<double>(
+                                         static_cast<std::size_t>(idx)),
+                "observation index must be a non-negative integer "
+                "(line " + std::to_string(lineno) + ")");
+        indices.push_back(static_cast<std::size_t>(idx));
+        values.push_back(parseDouble(
+            cells[1], "line " + std::to_string(lineno)));
+    }
+    return {std::move(indices), linalg::Vector(std::move(values))};
+}
+
+void
+writeObservations(std::ostream &out,
+                  const std::vector<std::size_t> &indices,
+                  const linalg::Vector &values)
+{
+    require(indices.size() == values.size(),
+            "writeObservations: size mismatch");
+    for (std::size_t i = 0; i < indices.size(); ++i)
+        out << indices[i] << ',' << values[i] << '\n';
+}
+
+void
+writeEstimates(std::ostream &out, const linalg::Vector &values,
+               const linalg::Vector &stddev)
+{
+    require(stddev.empty() || stddev.size() == values.size(),
+            "writeEstimates: stddev size mismatch");
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        out << i << ',' << values[i];
+        if (!stddev.empty())
+            out << ',' << stddev[i];
+        out << '\n';
+    }
+}
+
+} // namespace leo::experiments

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The energy-minimization experiment of Section 6.4.
+ *
+ * Protocol: fix a deadline, sweep the workload W so that the implied
+ * utilization spans 1..100% of the application's peak rate, and for
+ * each utilization let every approach estimate, plan (Equation 1) and
+ * execute; measure the true energy consumed. Figure 10 plots the
+ * per-utilization curves; Figure 11 averages each approach over all
+ * utilizations, normalized to optimal.
+ */
+
+#ifndef LEO_EXPERIMENTS_ENERGY_HH
+#define LEO_EXPERIMENTS_ENERGY_HH
+
+#include <string>
+#include <vector>
+
+#include "platform/config_space.hh"
+#include "telemetry/profile_store.hh"
+#include "workloads/app_model.hh"
+
+namespace leo::experiments
+{
+
+/** Energy of every approach at one utilization level. */
+struct EnergyPoint
+{
+    /** Utilization in (0, 1]. */
+    double utilization = 0.0;
+    /** Measured energy per approach (Joules). */
+    double leo = 0.0;
+    double online = 0.0;
+    double offline = 0.0;
+    double raceToIdle = 0.0;
+    double optimal = 0.0;
+};
+
+/** Whole-sweep result for one application. */
+struct EnergyCurve
+{
+    /** Benchmark name. */
+    std::string application;
+    /** One point per utilization level. */
+    std::vector<EnergyPoint> points;
+
+    /** Mean energy over the sweep normalized to optimal. */
+    double meanRelative(double EnergyPoint::*column) const;
+};
+
+/** Experiment knobs. */
+struct EnergyOptions
+{
+    /** Observations per estimate (paper: 20). */
+    std::size_t sampleBudget = 20;
+    /** Utilization levels tested (paper: 100). */
+    std::size_t utilizationLevels = 100;
+    /** Deadline per job in seconds. */
+    double deadlineSeconds = 100.0;
+    /** Master seed. */
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Run the utilization sweep for one application.
+ *
+ * @param profile The target benchmark.
+ * @param machine The machine.
+ * @param space   The configuration space.
+ * @param prior   Offline profiles (must not contain the target;
+ *                callers use store.without(name)).
+ * @param options Knobs.
+ */
+EnergyCurve runEnergyExperiment(
+    const workloads::ApplicationProfile &profile,
+    const platform::Machine &machine,
+    const platform::ConfigSpace &space,
+    const telemetry::ProfileStore &prior, const EnergyOptions &options);
+
+} // namespace leo::experiments
+
+#endif // LEO_EXPERIMENTS_ENERGY_HH

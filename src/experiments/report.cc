@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Implementation of the reporting helpers.
+ */
+
+#include "experiments/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "linalg/error.hh"
+
+namespace leo::experiments
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    require(!headers_.empty(), "TextTable: no headers");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    require(cells.size() == headers_.size(),
+            "TextTable: row width mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << row[c];
+            if (c + 1 < row.size())
+                os << std::string(width[c] - row[c].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    std::vector<std::string> rule;
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        rule.push_back(std::string(width[c], '-'));
+    emit(rule);
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+std::string
+fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::size_t
+envSize(const char *name, std::size_t fallback)
+{
+    const char *raw = std::getenv(name);
+    if (raw == nullptr)
+        return fallback;
+    const long v = std::atol(raw);
+    return v > 0 ? static_cast<std::size_t>(v) : fallback;
+}
+
+} // namespace leo::experiments

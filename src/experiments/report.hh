@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Plain-text reporting helpers shared by the benchmark binaries.
+ *
+ * Every bench prints the rows/series of the paper figure or table it
+ * regenerates; these helpers keep the formatting consistent and
+ * machine-greppable (aligned columns, one header line).
+ */
+
+#ifndef LEO_EXPERIMENTS_REPORT_HH
+#define LEO_EXPERIMENTS_REPORT_HH
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace leo::experiments
+{
+
+/** A fixed-width text table accumulated row by row. */
+class TextTable
+{
+  public:
+    /** @param headers Column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row (must match the header count). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision. */
+std::string fmt(double v, int precision = 3);
+
+/**
+ * Read a positive integer from the environment, with default — used
+ * by the benches so `LEO_BENCH_TRIALS=10 ./fig05_perf_accuracy`
+ * reproduces the paper's full trial count while the default stays
+ * laptop-fast.
+ */
+std::size_t envSize(const char *name, std::size_t fallback);
+
+} // namespace leo::experiments
+
+#endif // LEO_EXPERIMENTS_REPORT_HH

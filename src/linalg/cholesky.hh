@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Cholesky factorization of symmetric positive-definite matrices.
+ *
+ * This is the numerical workhorse of the EM algorithm in Section 5.3:
+ * every E-step solves linear systems in (Sigma + sigma^2 I), which is
+ * SPD by construction (the normal-inverse-Wishart prior keeps Sigma
+ * positive definite).
+ */
+
+#ifndef LEO_LINALG_CHOLESKY_HH
+#define LEO_LINALG_CHOLESKY_HH
+
+#include "linalg/matrix.hh"
+#include "linalg/vector.hh"
+
+namespace leo::linalg
+{
+
+/**
+ * Lower-triangular Cholesky factorization A = L L'.
+ *
+ * The factorization is computed once at construction; solves against
+ * multiple right-hand sides reuse the factor. If the input is not
+ * positive definite the constructor retries with growing diagonal
+ * jitter up to maxJitter before giving up with fatal().
+ */
+class Cholesky
+{
+  public:
+    /**
+     * Factorize an SPD matrix.
+     *
+     * @param a          Symmetric positive-definite matrix.
+     * @param max_jitter Largest diagonal jitter to try when the bare
+     *                   factorization fails (0 disables jitter).
+     */
+    explicit Cholesky(const Matrix &a, double max_jitter = 1e-6);
+
+    /** @return The lower-triangular factor L. */
+    const Matrix &factor() const { return l_; }
+
+    /** @return The jitter that was added to the diagonal (usually 0). */
+    double jitterUsed() const { return jitter_; }
+
+    /** @return The dimension of the factored matrix. */
+    std::size_t dim() const { return l_.rows(); }
+
+    /**
+     * Solve A x = b.
+     *
+     * @param b Right-hand side.
+     * @return x = A^-1 b.
+     */
+    Vector solve(const Vector &b) const;
+
+    /**
+     * Solve A X = B for a matrix right-hand side.
+     *
+     * @param b Right-hand side with dim() rows.
+     * @return X = A^-1 B.
+     */
+    Matrix solve(const Matrix &b) const;
+
+    /** @return The explicit inverse A^-1 (SPD). */
+    Matrix inverse() const;
+
+    /** @return log det A = 2 sum_i log L[i][i]. */
+    double logDet() const;
+
+    /**
+     * Forward substitution: solve L y = b.
+     *
+     * Exposed for whitening operations in sampling code.
+     */
+    Vector solveLower(const Vector &b) const;
+
+  private:
+    /** Attempt the factorization; @return true on success. */
+    bool tryFactor(const Matrix &a, double jitter);
+
+    Matrix l_;
+    double jitter_ = 0.0;
+};
+
+/**
+ * Convenience wrapper: solve the SPD system A x = b once.
+ */
+Vector spdSolve(const Matrix &a, const Vector &b);
+
+/**
+ * Convenience wrapper: explicit SPD inverse.
+ */
+Matrix spdInverse(const Matrix &a);
+
+} // namespace leo::linalg
+
+#endif // LEO_LINALG_CHOLESKY_HH

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Implementation of the cyclic Jacobi eigensolver.
+ */
+
+#include "linalg/eigen.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/error.hh"
+
+namespace leo::linalg
+{
+
+namespace
+{
+
+/** Frobenius norm of the strict off-diagonal part. */
+double
+offDiagonalNorm(const Matrix &a)
+{
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            if (i != j)
+                acc += a.at(i, j) * a.at(i, j);
+    return std::sqrt(acc);
+}
+
+} // namespace
+
+EigenDecomposition
+symmetricEigen(const Matrix &a, std::size_t max_sweeps, double tol)
+{
+    require(a.rows() == a.cols() && a.rows() > 0,
+            "symmetricEigen: need a non-empty square matrix");
+    require(a.isSymmetric(1e-8 * (1.0 + a.frobeniusNorm())),
+            "symmetricEigen: matrix is not symmetric");
+
+    const std::size_t n = a.rows();
+    Matrix d = a;
+    d.symmetrize();
+    Matrix v = Matrix::identity(n);
+
+    const double scale = std::max(a.frobeniusNorm(), 1e-300);
+    EigenDecomposition out;
+
+    for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+        out.sweeps = sweep + 1;
+        if (offDiagonalNorm(d) <= tol * scale) {
+            out.converged = true;
+            break;
+        }
+        for (std::size_t p = 0; p < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                const double apq = d.at(p, q);
+                if (std::abs(apq) <= 1e-300)
+                    continue;
+                const double app = d.at(p, p);
+                const double aqq = d.at(q, q);
+                // Rotation angle zeroing (p, q).
+                const double theta = (aqq - app) / (2.0 * apq);
+                const double t =
+                    (theta >= 0.0 ? 1.0 : -1.0) /
+                    (std::abs(theta) +
+                     std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+
+                // Apply the rotation to rows/columns p and q.
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double dkp = d.at(k, p);
+                    const double dkq = d.at(k, q);
+                    d.at(k, p) = c * dkp - s * dkq;
+                    d.at(k, q) = s * dkp + c * dkq;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double dpk = d.at(p, k);
+                    const double dqk = d.at(q, k);
+                    d.at(p, k) = c * dpk - s * dqk;
+                    d.at(q, k) = s * dpk + c * dqk;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double vkp = v.at(k, p);
+                    const double vkq = v.at(k, q);
+                    v.at(k, p) = c * vkp - s * vkq;
+                    v.at(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    if (!out.converged && offDiagonalNorm(d) <= tol * scale)
+        out.converged = true;
+
+    // Sort by descending eigenvalue.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t i, std::size_t j) {
+                  return d.at(i, i) > d.at(j, j);
+              });
+
+    out.values = Vector(n);
+    out.vectors = Matrix(n, n);
+    for (std::size_t k = 0; k < n; ++k) {
+        out.values[k] = d.at(order[k], order[k]);
+        for (std::size_t r = 0; r < n; ++r)
+            out.vectors(r, k) = v.at(r, order[k]);
+    }
+    return out;
+}
+
+std::size_t
+effectiveRank(const Vector &eigenvalues, double share)
+{
+    require(share > 0.0 && share <= 1.0,
+            "effectiveRank: share must be in (0, 1]");
+    require(!eigenvalues.empty(), "effectiveRank: empty spectrum");
+    double total = 0.0;
+    for (double v : eigenvalues)
+        total += std::max(v, 0.0);
+    if (total <= 0.0)
+        return 0;
+    double acc = 0.0;
+    for (std::size_t k = 0; k < eigenvalues.size(); ++k) {
+        acc += std::max(eigenvalues[k], 0.0);
+        if (acc >= share * total)
+            return k + 1;
+    }
+    return eigenvalues.size();
+}
+
+} // namespace leo::linalg

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Symmetric eigendecomposition (cyclic Jacobi).
+ *
+ * Used to analyze the spectrum of the learned configuration
+ * covariance Sigma: with M-1 fully observed prior applications the
+ * data part of Sigma has rank at most M, and the eigenvalue decay
+ * quantifies how much statistical structure the hierarchical model
+ * actually shares across configurations (see DESIGN.md section 6 on
+ * prior expressiveness).
+ */
+
+#ifndef LEO_LINALG_EIGEN_HH
+#define LEO_LINALG_EIGEN_HH
+
+#include "linalg/matrix.hh"
+#include "linalg/vector.hh"
+
+namespace leo::linalg
+{
+
+/** Eigendecomposition A = V diag(lambda) V' of a symmetric matrix. */
+struct EigenDecomposition
+{
+    /** Eigenvalues, sorted descending. */
+    Vector values;
+    /** Orthonormal eigenvectors as matrix columns, matching order. */
+    Matrix vectors;
+    /** Jacobi sweeps used. */
+    std::size_t sweeps = 0;
+    /** True iff the off-diagonal norm met the tolerance. */
+    bool converged = false;
+};
+
+/**
+ * Decompose a symmetric matrix with the cyclic Jacobi method.
+ *
+ * O(n^3) per sweep with typically 5-10 sweeps; intended for the
+ * moderate sizes LEO works at (n <= a few thousand) and for tests.
+ *
+ * @param a          Symmetric matrix.
+ * @param max_sweeps Sweep limit.
+ * @param tol        Relative off-diagonal Frobenius tolerance.
+ */
+EigenDecomposition symmetricEigen(const Matrix &a,
+                                  std::size_t max_sweeps = 30,
+                                  double tol = 1e-12);
+
+/**
+ * Effective rank of a symmetric PSD matrix: the number of
+ * eigenvalues needed to capture the given share of the trace.
+ *
+ * @param eigenvalues Eigenvalues sorted descending (non-negative).
+ * @param share       Trace share to capture, in (0, 1].
+ */
+std::size_t effectiveRank(const Vector &eigenvalues,
+                          double share = 0.99);
+
+} // namespace leo::linalg
+
+#endif // LEO_LINALG_EIGEN_HH

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Dense real-valued matrix used throughout LEO.
+ *
+ * Follows the paper's Section 3 notation: matrices live in R^{d x n},
+ * tr(A) is the trace, ||X||_F the Frobenius norm and diag(x) the
+ * diagonal matrix built from a vector.
+ */
+
+#ifndef LEO_LINALG_MATRIX_HH
+#define LEO_LINALG_MATRIX_HH
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "linalg/vector.hh"
+
+namespace leo::linalg
+{
+
+/**
+ * A dense row-major matrix of doubles.
+ *
+ * Sized at construction; all binary operations check dimensions and
+ * call fatal() on mismatch.
+ */
+class Matrix
+{
+  public:
+    /** Construct an empty (0 x 0) matrix. */
+    Matrix() = default;
+
+    /**
+     * Construct a rows x cols matrix.
+     *
+     * @param rows Number of rows.
+     * @param cols Number of columns.
+     * @param fill Initial value for every entry.
+     */
+    Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+    /**
+     * Construct from nested initializer lists (row by row).
+     * All rows must have equal length.
+     */
+    Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+    /** @return The d x d identity matrix. */
+    static Matrix identity(std::size_t d);
+
+    /** @return diag(x): square matrix with x on the diagonal. */
+    static Matrix diag(const Vector &x);
+
+    /** @return The outer product x y'. */
+    static Matrix outer(const Vector &x, const Vector &y);
+
+    /** @return Number of rows. */
+    std::size_t rows() const { return rows_; }
+    /** @return Number of columns. */
+    std::size_t cols() const { return cols_; }
+    /** @return True iff the matrix is 0 x 0. */
+    bool empty() const { return data_.empty(); }
+
+    /** Bounds-checked element access. */
+    double &operator()(std::size_t r, std::size_t c);
+    /** Bounds-checked element access (const). */
+    double operator()(std::size_t r, std::size_t c) const;
+
+    /** Unchecked element access. */
+    double &at(std::size_t r, std::size_t c)
+    {
+        return data_[r * cols_ + c];
+    }
+    /** Unchecked element access (const). */
+    double at(std::size_t r, std::size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    /** @return Row r as a vector. */
+    Vector row(std::size_t r) const;
+    /** @return Column c as a vector. */
+    Vector col(std::size_t c) const;
+    /** Overwrite row r. */
+    void setRow(std::size_t r, const Vector &v);
+    /** Overwrite column c. */
+    void setCol(std::size_t c, const Vector &v);
+
+    /** In-place addition. */
+    Matrix &operator+=(const Matrix &other);
+    /** In-place subtraction. */
+    Matrix &operator-=(const Matrix &other);
+    /** In-place scaling. */
+    Matrix &operator*=(double s);
+    /** In-place division by a scalar. */
+    Matrix &operator/=(double s);
+
+    /** @return The transpose X'. */
+    Matrix transpose() const;
+    /** @return tr(A) (square matrices only). */
+    double trace() const;
+    /** @return The Frobenius norm ||X||_F. */
+    double frobeniusNorm() const;
+    /** @return The main diagonal as a vector (square only). */
+    Vector diagonal() const;
+    /** @return True iff all entries are finite. */
+    bool allFinite() const;
+    /** @return True iff ||A - A'||_max <= tol. */
+    bool isSymmetric(double tol = 1e-9) const;
+
+    /** Force exact symmetry: A <- (A + A') / 2 (square only). */
+    void symmetrize();
+
+    /** Add s to every diagonal entry (square only). */
+    void addToDiagonal(double s);
+
+    /**
+     * Extract the square sub-matrix indexed by idx on both axes.
+     *
+     * @param idx Row/column indices to keep.
+     * @return The |idx| x |idx| principal sub-matrix.
+     */
+    Matrix gather(const std::vector<std::size_t> &idx) const;
+
+    /**
+     * Extract the rectangular sub-matrix rows x cols.
+     *
+     * @param row_idx Row indices to keep.
+     * @param col_idx Column indices to keep.
+     */
+    Matrix gather(const std::vector<std::size_t> &row_idx,
+                  const std::vector<std::size_t> &col_idx) const;
+
+    /** Set every entry to a constant. */
+    void fill(double value);
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/** Matrix sum. */
+Matrix operator+(Matrix a, const Matrix &b);
+/** Matrix difference. */
+Matrix operator-(Matrix a, const Matrix &b);
+/** Scale a matrix. */
+Matrix operator*(Matrix a, double s);
+/** Scale a matrix. */
+Matrix operator*(double s, Matrix a);
+/** Matrix-matrix product. */
+Matrix operator*(const Matrix &a, const Matrix &b);
+/** Matrix-vector product. */
+Vector operator*(const Matrix &a, const Vector &x);
+
+} // namespace leo::linalg
+
+#endif // LEO_LINALG_MATRIX_HH

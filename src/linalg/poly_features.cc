@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Implementation of polynomial feature expansion.
+ */
+
+#include "linalg/poly_features.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace leo::linalg
+{
+
+PolynomialFeatures::PolynomialFeatures(std::size_t num_inputs,
+                                       std::size_t degree)
+    : num_inputs_(num_inputs)
+{
+    require(num_inputs > 0, "PolynomialFeatures needs >= 1 input");
+    std::vector<unsigned> current(num_inputs, 0);
+    enumerate(current, 0, static_cast<unsigned>(degree));
+
+    // Sort by total degree then lexicographically for a stable,
+    // human-readable feature order (constant term first).
+    std::sort(exponents_.begin(), exponents_.end(),
+              [](const auto &a, const auto &b) {
+                  unsigned da = 0, db = 0;
+                  for (unsigned e : a) da += e;
+                  for (unsigned e : b) db += e;
+                  if (da != db)
+                      return da < db;
+                  return a < b;
+              });
+}
+
+void
+PolynomialFeatures::enumerate(std::vector<unsigned> &current,
+                              std::size_t pos, unsigned remaining)
+{
+    if (pos == num_inputs_) {
+        exponents_.push_back(current);
+        return;
+    }
+    for (unsigned e = 0; e <= remaining; ++e) {
+        current[pos] = e;
+        enumerate(current, pos + 1, remaining - e);
+    }
+    current[pos] = 0;
+}
+
+Vector
+PolynomialFeatures::expand(const Vector &x) const
+{
+    require(x.size() == num_inputs_,
+            "PolynomialFeatures::expand dimension mismatch");
+    Vector out(exponents_.size());
+    for (std::size_t f = 0; f < exponents_.size(); ++f) {
+        double v = 1.0;
+        for (std::size_t i = 0; i < num_inputs_; ++i) {
+            for (unsigned e = 0; e < exponents_[f][i]; ++e)
+                v *= x[i];
+        }
+        out[f] = v;
+    }
+    return out;
+}
+
+Matrix
+PolynomialFeatures::designMatrix(const std::vector<Vector> &rows) const
+{
+    Matrix design(rows.size(), numFeatures());
+    for (std::size_t r = 0; r < rows.size(); ++r)
+        design.setRow(r, expand(rows[r]));
+    return design;
+}
+
+} // namespace leo::linalg

@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Implementation of the two-phase dense simplex solver.
+ */
+
+#include "linalg/simplex.hh"
+
+#include <cmath>
+#include <limits>
+
+namespace leo::linalg
+{
+
+namespace
+{
+
+constexpr double kEps = 1e-9;
+
+/**
+ * Dense simplex tableau in standard form:
+ *
+ *     min c' x  s.t.  A x = b,  x >= 0,  b >= 0,
+ *
+ * with an explicit basis. Pivoting uses Bland's rule, which is slow
+ * but cannot cycle; all LEO programs are small (|C| + 2 columns).
+ */
+class Tableau
+{
+  public:
+    Tableau(const Matrix &a, const Vector &b, const Vector &c,
+            std::vector<std::size_t> basis)
+        : a_(a), b_(b), c_(c), basis_(std::move(basis))
+    {
+    }
+
+    /** Run simplex iterations until optimal or unbounded. */
+    LpStatus
+    iterate()
+    {
+        const std::size_t m = a_.rows();
+        const std::size_t n = a_.cols();
+        // Upper bound on iterations: C(n, m) explodes, but Bland's
+        // rule terminates; keep a generous safety valve.
+        const std::size_t max_iters = 10000 + 100 * n * (m + 1);
+
+        for (std::size_t iter = 0; iter < max_iters; ++iter) {
+            // Compute reduced costs via the basis inverse implicitly:
+            // the tableau is kept in canonical form, so reduced costs
+            // are c_ - c_B' A_ directly.
+            std::size_t entering = n;
+            for (std::size_t j = 0; j < n; ++j) {
+                if (reducedCost(j) < -kEps) {
+                    entering = j;
+                    break; // Bland: smallest index.
+                }
+            }
+            if (entering == n)
+                return LpStatus::Optimal;
+
+            // Ratio test.
+            std::size_t leaving = m;
+            double best_ratio = std::numeric_limits<double>::infinity();
+            for (std::size_t i = 0; i < m; ++i) {
+                const double aij = a_.at(i, entering);
+                if (aij > kEps) {
+                    const double ratio = b_[i] / aij;
+                    if (ratio < best_ratio - kEps ||
+                        (ratio < best_ratio + kEps &&
+                         (leaving == m || basis_[i] < basis_[leaving]))) {
+                        best_ratio = ratio;
+                        leaving = i;
+                    }
+                }
+            }
+            if (leaving == m)
+                return LpStatus::Unbounded;
+
+            pivot(leaving, entering);
+        }
+        // Should be unreachable with Bland's rule.
+        return LpStatus::Unbounded;
+    }
+
+    /** Reduced cost of column j in the current canonical tableau. */
+    double
+    reducedCost(std::size_t j) const
+    {
+        double z = 0.0;
+        for (std::size_t i = 0; i < a_.rows(); ++i)
+            z += c_[basis_[i]] * a_.at(i, j);
+        return c_[j] - z;
+    }
+
+    /** Gauss-Jordan pivot on (row, col); updates the basis. */
+    void
+    pivot(std::size_t row, std::size_t col)
+    {
+        const std::size_t n = a_.cols();
+        const double p = a_.at(row, col);
+        for (std::size_t j = 0; j < n; ++j)
+            a_.at(row, j) /= p;
+        b_[row] /= p;
+        for (std::size_t i = 0; i < a_.rows(); ++i) {
+            if (i == row)
+                continue;
+            const double f = a_.at(i, col);
+            if (std::abs(f) < kEps)
+                continue;
+            for (std::size_t j = 0; j < n; ++j)
+                a_.at(i, j) -= f * a_.at(row, j);
+            b_[i] -= f * b_[row];
+        }
+        basis_[row] = col;
+    }
+
+    const std::vector<std::size_t> &basis() const { return basis_; }
+    const Vector &rhs() const { return b_; }
+    Matrix &a() { return a_; }
+    Vector &b() { return b_; }
+    Vector &c() { return c_; }
+    std::vector<std::size_t> &basisMutable() { return basis_; }
+
+  private:
+    Matrix a_;
+    Vector b_;
+    Vector c_;
+    std::vector<std::size_t> basis_;
+};
+
+} // namespace
+
+LinearProgram::LinearProgram(std::size_t num_vars)
+    : num_vars_(num_vars), objective_(num_vars, 0.0)
+{
+    require(num_vars > 0, "LinearProgram needs >= 1 variable");
+}
+
+void
+LinearProgram::setObjective(const Vector &c)
+{
+    require(c.size() == num_vars_, "LP objective dimension mismatch");
+    objective_ = c;
+}
+
+void
+LinearProgram::addEquality(const Vector &a, double b)
+{
+    require(a.size() == num_vars_, "LP equality dimension mismatch");
+    eq_rows_.push_back(a);
+    eq_rhs_.push_back(b);
+}
+
+void
+LinearProgram::addInequality(const Vector &a, double b)
+{
+    require(a.size() == num_vars_, "LP inequality dimension mismatch");
+    ub_rows_.push_back(a);
+    ub_rhs_.push_back(b);
+}
+
+LpSolution
+LinearProgram::solve() const
+{
+    const std::size_t m_eq = eq_rows_.size();
+    const std::size_t m_ub = ub_rows_.size();
+    const std::size_t m = m_eq + m_ub;
+    require(m > 0, "LP with no constraints");
+
+    // Standard form: variables = [x | slacks | artificials].
+    const std::size_t n_slack = m_ub;
+    const std::size_t n_total = num_vars_ + n_slack + m;
+
+    Matrix a(m, n_total, 0.0);
+    Vector b(m, 0.0);
+
+    for (std::size_t i = 0; i < m_eq; ++i) {
+        for (std::size_t j = 0; j < num_vars_; ++j)
+            a.at(i, j) = eq_rows_[i][j];
+        b[i] = eq_rhs_[i];
+    }
+    for (std::size_t i = 0; i < m_ub; ++i) {
+        const std::size_t r = m_eq + i;
+        for (std::size_t j = 0; j < num_vars_; ++j)
+            a.at(r, j) = ub_rows_[i][j];
+        a.at(r, num_vars_ + i) = 1.0; // slack
+        b[r] = ub_rhs_[i];
+    }
+
+    // Ensure b >= 0.
+    for (std::size_t i = 0; i < m; ++i) {
+        if (b[i] < 0.0) {
+            b[i] = -b[i];
+            for (std::size_t j = 0; j < num_vars_ + n_slack; ++j)
+                a.at(i, j) = -a.at(i, j);
+        }
+    }
+
+    // Artificial variables form the initial identity basis.
+    std::vector<std::size_t> basis(m);
+    for (std::size_t i = 0; i < m; ++i) {
+        a.at(i, num_vars_ + n_slack + i) = 1.0;
+        basis[i] = num_vars_ + n_slack + i;
+    }
+
+    // Phase 1: minimize the sum of artificials.
+    Vector c1(n_total, 0.0);
+    for (std::size_t i = 0; i < m; ++i)
+        c1[num_vars_ + n_slack + i] = 1.0;
+
+    Tableau t(a, b, c1, basis);
+    // Canonicalize: subtract basic rows so reduced costs are correct.
+    // (reducedCost handles this implicitly, no action needed.)
+    LpStatus s1 = t.iterate();
+    invariant(s1 != LpStatus::Unbounded, "phase-1 LP unbounded");
+
+    double phase1_obj = 0.0;
+    for (std::size_t i = 0; i < m; ++i)
+        if (t.basis()[i] >= num_vars_ + n_slack)
+            phase1_obj += t.rhs()[i];
+    if (phase1_obj > 1e-7)
+        return LpSolution{LpStatus::Infeasible, Vector(num_vars_), 0.0};
+
+    // Drive any remaining artificials out of the basis.
+    for (std::size_t i = 0; i < m; ++i) {
+        if (t.basis()[i] >= num_vars_ + n_slack) {
+            bool pivoted = false;
+            for (std::size_t j = 0; j < num_vars_ + n_slack && !pivoted;
+                 ++j) {
+                if (std::abs(t.a().at(i, j)) > kEps) {
+                    t.pivot(i, j);
+                    pivoted = true;
+                }
+            }
+            // A redundant row: the artificial stays basic at zero,
+            // which is harmless for phase 2 with +inf cost guard.
+        }
+    }
+
+    // Phase 2: original objective; artificials get a prohibitive cost
+    // so they never re-enter.
+    Vector c2(n_total, 0.0);
+    for (std::size_t j = 0; j < num_vars_; ++j)
+        c2[j] = objective_[j];
+    for (std::size_t j = num_vars_ + n_slack; j < n_total; ++j)
+        c2[j] = 1e30;
+
+    t.c() = c2;
+    LpStatus s2 = t.iterate();
+    if (s2 == LpStatus::Unbounded)
+        return LpSolution{LpStatus::Unbounded, Vector(num_vars_), 0.0};
+
+    Vector x(num_vars_, 0.0);
+    for (std::size_t i = 0; i < m; ++i)
+        if (t.basis()[i] < num_vars_)
+            x[t.basis()[i]] = t.rhs()[i];
+
+    double obj = dot(objective_, x);
+    return LpSolution{LpStatus::Optimal, x, obj};
+}
+
+} // namespace leo::linalg

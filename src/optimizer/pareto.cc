@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Implementation of Pareto frontier and convex hull extraction.
+ */
+
+#include "optimizer/pareto.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "linalg/error.hh"
+
+namespace leo::optimizer
+{
+
+std::vector<TradeoffPoint>
+paretoFrontier(const linalg::Vector &performance,
+               const linalg::Vector &power)
+{
+    require(performance.size() == power.size() && !performance.empty(),
+            "paretoFrontier: bad inputs");
+
+    std::vector<TradeoffPoint> pts;
+    pts.reserve(performance.size());
+    for (std::size_t c = 0; c < performance.size(); ++c)
+        pts.push_back({c, performance[c], power[c]});
+
+    // Sort by performance descending, power ascending; sweep keeping
+    // the running minimum power. A point is on the frontier iff its
+    // power is strictly below every point with performance >= its own.
+    std::sort(pts.begin(), pts.end(),
+              [](const TradeoffPoint &a, const TradeoffPoint &b) {
+                  if (a.performance != b.performance)
+                      return a.performance > b.performance;
+                  return a.power < b.power;
+              });
+
+    std::vector<TradeoffPoint> frontier;
+    double best_power = std::numeric_limits<double>::infinity();
+    for (const TradeoffPoint &p : pts) {
+        if (p.power < best_power) {
+            frontier.push_back(p);
+            best_power = p.power;
+        }
+    }
+    std::reverse(frontier.begin(), frontier.end());
+    return frontier;
+}
+
+std::vector<TradeoffPoint>
+lowerConvexHull(std::vector<TradeoffPoint> points, double idle_power)
+{
+    require(!points.empty(), "lowerConvexHull: no points");
+    if (idle_power >= 0.0)
+        points.push_back({kIdleConfig, 0.0, idle_power});
+
+    std::sort(points.begin(), points.end(),
+              [](const TradeoffPoint &a, const TradeoffPoint &b) {
+                  if (a.performance != b.performance)
+                      return a.performance < b.performance;
+                  return a.power < b.power;
+              });
+
+    // For equal performance only the cheapest point can be on the
+    // lower hull; deduplicate so vertical runs cannot confuse the
+    // chain.
+    points.erase(
+        std::unique(points.begin(), points.end(),
+                    [](const TradeoffPoint &a, const TradeoffPoint &b) {
+                        return a.performance == b.performance;
+                    }),
+        points.end());
+
+    // Andrew monotone chain, lower boundary only. cross() > 0 keeps
+    // the boundary convex from below.
+    auto cross = [](const TradeoffPoint &o, const TradeoffPoint &a,
+                    const TradeoffPoint &b) {
+        return (a.performance - o.performance) * (b.power - o.power) -
+               (a.power - o.power) * (b.performance - o.performance);
+    };
+
+    std::vector<TradeoffPoint> hull;
+    for (const TradeoffPoint &p : points) {
+        while (hull.size() >= 2 &&
+               cross(hull[hull.size() - 2], hull.back(), p) <= 0.0) {
+            hull.pop_back();
+        }
+        hull.push_back(p);
+    }
+
+    return hull;
+}
+
+} // namespace leo::optimizer

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Pareto-optimal performance/power tradeoffs.
+ *
+ * Section 5.3: "LEO simply first takes the estimates, then finds the
+ * set of configurations that represent Pareto-optimal performance and
+ * power tradeoffs, and finally walks along the convex hull of this
+ * optimal tradeoff space until the performance goal is reached."
+ */
+
+#ifndef LEO_OPTIMIZER_PARETO_HH
+#define LEO_OPTIMIZER_PARETO_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/vector.hh"
+
+namespace leo::optimizer
+{
+
+/** A configuration's position in the perf/power plane. */
+struct TradeoffPoint
+{
+    /** Configuration index, or kIdleConfig for the idle pseudo-point. */
+    std::size_t configIndex = 0;
+    /** Performance (heartbeats/s). */
+    double performance = 0.0;
+    /** Power (Watts). */
+    double power = 0.0;
+};
+
+/** Sentinel config index representing the idle system. */
+inline constexpr std::size_t kIdleConfig =
+    static_cast<std::size_t>(-1);
+
+/**
+ * Extract the Pareto frontier: configurations not dominated by any
+ * other (no other configuration has both higher-or-equal performance
+ * and lower-or-equal power, with at least one strict).
+ *
+ * @param performance Per-configuration performance.
+ * @param power       Per-configuration power.
+ * @return Frontier points sorted by increasing performance.
+ */
+std::vector<TradeoffPoint> paretoFrontier(
+    const linalg::Vector &performance, const linalg::Vector &power);
+
+/**
+ * Lower convex hull of a tradeoff set in the (performance, power)
+ * plane, optionally rooted at an idle point (0 performance,
+ * idle power). Mixing time between adjacent hull vertices yields the
+ * minimal-energy way to achieve any intermediate rate, which is why
+ * the energy linear program of Equation (1) reduces to a walk along
+ * this hull.
+ *
+ * @param points     Tradeoff points (any order).
+ * @param idle_power When >= 0, include the idle pseudo-point.
+ * @return Hull vertices sorted by increasing performance; power is
+ *         convex and increasing along the result.
+ */
+std::vector<TradeoffPoint> lowerConvexHull(
+    std::vector<TradeoffPoint> points, double idle_power = -1.0);
+
+} // namespace leo::optimizer
+
+#endif // LEO_OPTIMIZER_PARETO_HH

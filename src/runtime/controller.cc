@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Implementation of the online energy controller.
+ */
+
+#include "runtime/controller.hh"
+
+#include <algorithm>
+
+#include "linalg/error.hh"
+
+namespace leo::runtime
+{
+
+EnergyController::EnergyController(const platform::ConfigSpace &space,
+                                   const estimators::Estimator *estimator,
+                                   const telemetry::ProfileStore &prior,
+                                   ControllerOptions options)
+    : space_(space), estimator_(estimator), prior_(prior),
+      options_(options)
+{
+    require(options_.targetRate > 0.0,
+            "EnergyController: target rate must be > 0");
+    require(options_.driftWindow >= 1,
+            "EnergyController: drift window must be >= 1");
+    if (estimator_ == nullptr) {
+        // Oracle-fed controller: estimates arrive via setEstimates();
+        // there is nothing to sample.
+        state_ = State::Controlling;
+    }
+}
+
+std::size_t
+EnergyController::nextConfig(stats::Rng &rng)
+{
+    if (state_ == State::Sampling) {
+        if (probe_plan_.empty()) {
+            probe_plan_ = rng.sampleWithoutReplacement(
+                space_.size(),
+                std::min(options_.sampleBudget, space_.size()));
+            probe_next_ = 0;
+        }
+        pending_config_ = probe_plan_[probe_next_];
+        return pending_config_;
+    }
+    pending_config_ = paceConfig();
+    return pending_config_;
+}
+
+void
+EnergyController::recordMeasurement(const telemetry::Sample &s)
+{
+    // Track each configuration's own measurement history; it is the
+    // drift reference in Controlling state.
+    auto hist = history_.find(s.configIndex);
+
+    if (state_ == State::Sampling) {
+        if (hist == history_.end())
+            history_[s.configIndex] = s.heartbeatRate;
+        else
+            hist->second = 0.5 * (hist->second + s.heartbeatRate);
+        observations_.push(s);
+        ++probe_next_;
+        if (probe_next_ >= probe_plan_.size()) {
+            fit();
+            replan();
+            state_ = State::Controlling;
+        }
+        return;
+    }
+
+    // Controlling: track the measured rate and test for drift
+    // against the prediction for the configuration that ran.
+    const double alpha = 0.3;
+    avg_rate_ = have_avg_
+                    ? alpha * s.heartbeatRate + (1.0 - alpha) * avg_rate_
+                    : s.heartbeatRate;
+    have_avg_ = true;
+
+    if (hist != history_.end() && hist->second > 0.0) {
+        const double gap =
+            std::abs(s.heartbeatRate - hist->second) / hist->second;
+        if (gap > options_.driftThreshold)
+            ++drift_count_;
+        else
+            drift_count_ = 0;
+        // The EWMA follows slowly so a genuine step change stays
+        // detectable across the whole drift window.
+        hist->second = 0.9 * hist->second + 0.1 * s.heartbeatRate;
+    } else {
+        history_[s.configIndex] = s.heartbeatRate;
+    }
+
+    if (drift_count_ >= options_.driftWindow &&
+        estimator_ != nullptr) {
+        // Phase change: the old observations and the measurement
+        // history describe dead behaviour.
+        history_.clear();
+        observations_ = telemetry::Observations{};
+        probe_plan_.clear();
+        probe_next_ = 0;
+        drift_count_ = 0;
+        boost_ = 0;
+        have_avg_ = false;
+        ++reestimations_;
+        state_ = State::Sampling;
+        return;
+    }
+
+    // Gradient-ascent performance guard (Section 6.6): climb the
+    // frontier while the demand is missed. Ascent only — backing off
+    // on a lucky fast window would oscillate between meeting and
+    // missing; the boost resets at the next (re-)estimation instead.
+    if (have_avg_ && !frontier_.empty() &&
+        avg_rate_ < options_.targetRate * 0.98 &&
+        segment_ + 1 + boost_ < frontier_.size()) {
+        ++boost_;
+    }
+}
+
+void
+EnergyController::setEstimates(linalg::Vector performance,
+                               linalg::Vector power)
+{
+    require(performance.size() == space_.size() &&
+                power.size() == space_.size(),
+            "EnergyController: estimate size mismatch");
+    perf_ = std::move(performance);
+    power_ = std::move(power);
+    replan();
+    state_ = State::Controlling;
+}
+
+void
+EnergyController::fit()
+{
+    if (estimator_ == nullptr)
+        return;
+    const estimators::EstimationInputs inputs{space_, prior_,
+                                              observations_};
+    estimators::Estimate est = estimator_->estimate(inputs);
+    perf_ = std::move(est.performance.values);
+    power_ = std::move(est.power.values);
+}
+
+void
+EnergyController::replan()
+{
+    if (!hasEstimates())
+        return;
+    // Pacing selects a single configuration per window (the slack is
+    // idled out inside the window), so the candidate set is the full
+    // Pareto frontier: unlike batch scheduling, pure selection can
+    // exploit frontier points that sit above the convex hull.
+    frontier_ = optimizer::paretoFrontier(perf_, power_);
+
+    // Locate the segment bracketing the demand.
+    segment_ = 0;
+    while (segment_ + 1 < frontier_.size() &&
+           frontier_[segment_ + 1].performance < options_.targetRate) {
+        ++segment_;
+    }
+    boost_ = 0;
+    have_avg_ = false;
+    drift_count_ = 0;
+}
+
+std::size_t
+EnergyController::paceConfig()
+{
+    if (frontier_.empty()) {
+        // No estimates at all: run the final configuration (all
+        // resources) as a safe default.
+        return space_.size() - 1;
+    }
+    // Pace-to-idle: run the cheapest hull vertex whose estimated
+    // rate covers the per-window demand and let the caller idle out
+    // the slack inside the window. (Duty-cycling between the two
+    // bracketing vertices would save a little more energy but makes
+    // every other frame miss its individual deadline; Section 6.6
+    // requires the demand to be met continuously.) The gradient-
+    // ascent boost climbs further up the hull when measurements say
+    // the chosen vertex under-delivers.
+    std::size_t pace = segment_;
+    if (pace + 1 < frontier_.size() &&
+        frontier_[pace].performance < options_.targetRate) {
+        ++pace;
+    }
+    pace = std::min(pace + boost_, frontier_.size() - 1);
+    const optimizer::TradeoffPoint &v = frontier_[pace];
+    if (v.configIndex == optimizer::kIdleConfig) {
+        // Demand below the slowest vertex and no boost: still need a
+        // real configuration to make progress; use the next one.
+        const std::size_t next = std::min(pace + 1, frontier_.size() - 1);
+        return frontier_[next].configIndex;
+    }
+    return v.configIndex;
+}
+
+} // namespace leo::runtime

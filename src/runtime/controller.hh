@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The online energy controller.
+ *
+ * Ties the pieces into the runtime of Section 6.6: sample a few
+ * configurations while the application runs, fit an estimator, pace at the
+ * cheapest Pareto-frontier configuration that meets the performance
+ * demand (idling the intra-window slack), then watch the heartbeats. A sustained gap between measured
+ * and predicted behaviour signals a phase change; the controller
+ * re-samples and re-estimates. A gradient-ascent guard nudges the
+ * operating point up the hull whenever the measured rate falls short
+ * of the demand ("all approaches use gradient ascent to increase
+ * performance until the demand is met").
+ */
+
+#ifndef LEO_RUNTIME_CONTROLLER_HH
+#define LEO_RUNTIME_CONTROLLER_HH
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "estimators/estimator.hh"
+#include "optimizer/pareto.hh"
+#include "stats/rng.hh"
+#include "telemetry/measurement.hh"
+
+namespace leo::runtime
+{
+
+/** Tunables of the control loop. */
+struct ControllerOptions
+{
+    /** Performance demand in heartbeats/s. */
+    double targetRate = 1.0;
+    /** Configurations sampled when (re)estimating. */
+    std::size_t sampleBudget = 20;
+    /** Relative gap between a measurement and the same
+     *  configuration's own measurement history that counts as drift.
+     *  Comparing against history (not the model) separates phase
+     *  changes from static estimation error: a merely-misestimated
+     *  configuration measures consistently, while a phase change
+     *  moves the measurement away from its own past. */
+    double driftThreshold = 0.20;
+    /** Consecutive drifting windows before re-estimation. */
+    std::size_t driftWindow = 3;
+    /** Idle system power (intra-window slack), Watts. */
+    double idlePower = 85.0;
+};
+
+/**
+ * State machine: Sampling (collecting observations) -> Controlling
+ * (pacing on the frontier) -> back to Sampling on drift.
+ */
+class EnergyController
+{
+  public:
+    /** Operating mode. */
+    enum class State
+    {
+        Sampling,    //!< Collecting observations of the target.
+        Controlling  //!< Pacing the demand from estimates.
+    };
+
+    /**
+     * @param space     The configuration space.
+     * @param estimator The estimation approach (borrowed); pass
+     *                  nullptr for an oracle-fed controller whose
+     *                  estimates are injected via setEstimates().
+     * @param prior     Offline profiles (borrowed).
+     * @param options   Control knobs.
+     */
+    EnergyController(const platform::ConfigSpace &space,
+                     const estimators::Estimator *estimator,
+                     const telemetry::ProfileStore &prior,
+                     ControllerOptions options);
+
+    /** @return Current state. */
+    State state() const { return state_; }
+
+    /** @return The options in use. */
+    const ControllerOptions &options() const { return options_; }
+
+    /**
+     * Configuration to run the next window in. In Sampling state this
+     * is the next probe configuration; in Controlling state it is the
+     * frontier configuration pacing the demand.
+     *
+     * @param rng Randomness for probe selection.
+     */
+    std::size_t nextConfig(stats::Rng &rng);
+
+    /**
+     * Report the measurement of the window that just ran.
+     *
+     * In Sampling state the sample is added to the observation set
+     * and — once the budget is reached — the estimator is fitted and
+     * the controller switches to Controlling. In Controlling state
+     * the sample feeds drift detection and the gradient-ascent guard.
+     *
+     * @param s The measured sample (config must match nextConfig()).
+     */
+    void recordMeasurement(const telemetry::Sample &s);
+
+    /** Inject estimates directly (oracle / tests). */
+    void setEstimates(linalg::Vector performance,
+                      linalg::Vector power);
+
+    /** @return Current estimates (empty before the first fit). */
+    const linalg::Vector &performanceEstimate() const
+    {
+        return perf_;
+    }
+    /** @return Current power estimates. */
+    const linalg::Vector &powerEstimate() const { return power_; }
+
+    /** @return Number of re-estimations triggered by drift. */
+    std::size_t reestimations() const { return reestimations_; }
+
+    /** @return True once at least one fit has happened. */
+    bool hasEstimates() const { return !perf_.empty(); }
+
+  private:
+    /** Fit the estimator from the current observations. */
+    void fit();
+
+    /** Recompute the frontier and locate the demand on it. */
+    void replan();
+
+    /** Select the frontier configuration pacing the demand. */
+    std::size_t paceConfig();
+
+    const platform::ConfigSpace &space_;
+    const estimators::Estimator *estimator_;
+    const telemetry::ProfileStore &prior_;
+    ControllerOptions options_;
+
+    State state_ = State::Sampling;
+    telemetry::Observations observations_;
+    std::vector<std::size_t> probe_plan_;
+    std::size_t probe_next_ = 0;
+
+    linalg::Vector perf_;
+    linalg::Vector power_;
+    /** Per-configuration EWMA of measured rates (drift reference). */
+    std::unordered_map<std::size_t, double> history_;
+    std::vector<optimizer::TradeoffPoint> frontier_;
+    std::size_t segment_ = 0;  //!< Frontier segment at the target.
+    std::size_t boost_ = 0;    //!< Gradient-ascent offset upward.
+    double avg_rate_ = 0.0;    //!< EWMA of measured rate.
+    bool have_avg_ = false;
+    std::size_t drift_count_ = 0;
+    std::size_t reestimations_ = 0;
+    std::size_t pending_config_ = 0;
+};
+
+} // namespace leo::runtime
+
+#endif // LEO_RUNTIME_CONTROLLER_HH

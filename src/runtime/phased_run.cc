@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Implementation of the closed-loop phased simulation.
+ */
+
+#include "runtime/phased_run.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "linalg/error.hh"
+#include "workloads/ground_truth.hh"
+
+namespace leo::runtime
+{
+
+PhasedRunResult
+runPhased(const workloads::PhasedApplication &app,
+          const platform::Machine &machine,
+          const platform::ConfigSpace &space,
+          const estimators::Estimator *estimator,
+          const telemetry::ProfileStore &prior,
+          ControllerOptions options, stats::Rng &rng)
+{
+    require(options.targetRate > 0.0,
+            "runPhased: target rate must be > 0");
+
+    options.idlePower = machine.spec().idleSystemPowerW;
+    EnergyController controller(space, estimator, prior, options);
+
+    const telemetry::HeartbeatMonitor monitor;
+    const telemetry::WattsUpMeter meter;
+
+    PhasedRunResult result;
+    result.phaseEnergy.assign(app.phases().size(), 0.0);
+
+    // Cache one model per phase.
+    std::vector<std::unique_ptr<workloads::ApplicationModel>> models;
+    std::vector<workloads::GroundTruth> truths;
+    for (const workloads::Phase &ph : app.phases()) {
+        models.push_back(std::make_unique<workloads::ApplicationModel>(
+            ph.profile, machine));
+        if (estimator == nullptr)
+            truths.push_back(
+                workloads::computeGroundTruth(*models.back(), space));
+    }
+
+    const double period = 1.0 / options.targetRate;
+    const double idle_power = machine.spec().idleSystemPowerW;
+    std::size_t deadline_hits = 0;
+    std::size_t last_phase = static_cast<std::size_t>(-1);
+
+    const std::size_t total = app.totalFrames();
+    for (std::size_t f = 0; f < total; ++f) {
+        const std::size_t phase = app.phaseIndexAt(f);
+        const workloads::ApplicationModel &model = *models[phase];
+
+        if (estimator == nullptr && phase != last_phase) {
+            // Oracle: perfect knowledge arrives at the phase boundary.
+            controller.setEstimates(truths[phase].performance,
+                                    truths[phase].power);
+        }
+        last_phase = phase;
+
+        const bool sampling =
+            controller.state() == EnergyController::State::Sampling;
+        const std::size_t cfg = controller.nextConfig(rng);
+        const platform::ResourceAssignment &ra = space.assignment(cfg);
+
+        // The controller sees noisy telemetry.
+        telemetry::Sample s;
+        s.configIndex = cfg;
+        s.heartbeatRate = monitor.measureRate(model, ra, rng);
+        s.powerWatts = meter.read(model, ra, rng);
+        controller.recordMeasurement(s);
+
+        // True frame accounting: one heartbeat of work.
+        const double true_rate = model.heartbeatRate(ra);
+        const double true_power = model.powerWatts(ra);
+        invariant(true_rate > 0.0, "runPhased: zero true rate");
+        const double busy = 1.0 / true_rate;
+        double energy = true_power * busy;
+        if (busy < period)
+            energy += idle_power * (period - busy);
+
+        FrameRecord rec;
+        rec.frame = f;
+        rec.phase = phase;
+        rec.configIndex = cfg;
+        rec.rate = true_rate;
+        rec.powerWatts = true_power;
+        rec.energyJoules = energy;
+        rec.normalizedPerformance = true_rate / options.targetRate;
+        rec.sampling = sampling;
+        result.trace.push_back(rec);
+
+        result.phaseEnergy[phase] += energy;
+        result.totalEnergy += energy;
+        if (busy <= period * (1.0 + 1e-9))
+            ++deadline_hits;
+    }
+
+    result.deadlineHitRate =
+        static_cast<double>(deadline_hits) / static_cast<double>(total);
+    result.reestimations = controller.reestimations();
+    return result;
+}
+
+} // namespace leo::runtime

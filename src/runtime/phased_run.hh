@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Closed-loop simulation of a phased application under a controller.
+ *
+ * Reproduces the Section 6.6 experiment: a real-time application
+ * (fluidanimate) renders frames at a fixed demand while its workload
+ * switches phase midway. Each approach (LEO / Online / Offline /
+ * oracle) drives the controller; the simulator accounts true
+ * per-frame time and energy, including slack idling within the frame
+ * period ("pace to idle") and late frames when the chosen
+ * configuration is too slow.
+ */
+
+#ifndef LEO_RUNTIME_PHASED_RUN_HH
+#define LEO_RUNTIME_PHASED_RUN_HH
+
+#include <vector>
+
+#include "runtime/controller.hh"
+#include "telemetry/meters.hh"
+#include "telemetry/profile_store.hh"
+#include "workloads/phased.hh"
+
+namespace leo::runtime
+{
+
+/** Per-frame record of the closed-loop run. */
+struct FrameRecord
+{
+    /** Global frame index. */
+    std::size_t frame = 0;
+    /** Phase the application was in. */
+    std::size_t phase = 0;
+    /** Configuration the controller chose. */
+    std::size_t configIndex = 0;
+    /** True heartbeat rate achieved (frames/s). */
+    double rate = 0.0;
+    /** True wall power while rendering (Watts). */
+    double powerWatts = 0.0;
+    /** Energy of the frame period, including slack idle (Joules). */
+    double energyJoules = 0.0;
+    /** rate / demand: >= 1 means the frame met real-time. */
+    double normalizedPerformance = 0.0;
+    /** True while the controller was probing configurations. */
+    bool sampling = false;
+};
+
+/** Result of a closed-loop phased run. */
+struct PhasedRunResult
+{
+    /** The full frame trace. */
+    std::vector<FrameRecord> trace;
+    /** Energy per phase (Joules). */
+    std::vector<double> phaseEnergy;
+    /** Total energy (Joules). */
+    double totalEnergy = 0.0;
+    /** Fraction of frames that met the real-time demand. */
+    double deadlineHitRate = 0.0;
+    /** Times the controller re-estimated due to drift. */
+    std::size_t reestimations = 0;
+};
+
+/**
+ * Run a phased application to completion under a controller.
+ *
+ * @param app       The phased application.
+ * @param machine   The machine.
+ * @param space     Configuration space the controller actuates.
+ * @param estimator Estimation approach; nullptr runs the oracle,
+ *                  which receives the true vectors of each phase the
+ *                  moment the phase starts.
+ * @param prior     Offline profiles for the estimator.
+ * @param options   Controller options (targetRate is the real-time
+ *                  frame demand in frames/s).
+ * @param rng       Randomness (probe choice, measurement noise).
+ */
+PhasedRunResult runPhased(const workloads::PhasedApplication &app,
+                          const platform::Machine &machine,
+                          const platform::ConfigSpace &space,
+                          const estimators::Estimator *estimator,
+                          const telemetry::ProfileStore &prior,
+                          ControllerOptions options, stats::Rng &rng);
+
+} // namespace leo::runtime
+
+#endif // LEO_RUNTIME_PHASED_RUN_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Estimation quality metrics.
+ *
+ * The headline metric is the paper's Equation (5):
+ *
+ *     accuracy(yhat, y) = max(1 - ||yhat - y||^2 / ||y - ybar||^2, 0)
+ *
+ * i.e. the coefficient of determination clamped at zero. Figures 5, 6
+ * and 12 report exactly this quantity.
+ */
+
+#ifndef LEO_STATS_METRICS_HH
+#define LEO_STATS_METRICS_HH
+
+#include "linalg/vector.hh"
+
+namespace leo::stats
+{
+
+/**
+ * Accuracy of an estimate per Equation (5) of the paper.
+ *
+ * @param estimate Estimated vector yhat.
+ * @param truth    True vector y.
+ * @return max(1 - ||yhat-y||^2 / ||y-ybar||^2, 0), in [0, 1].
+ */
+double accuracy(const linalg::Vector &estimate,
+                const linalg::Vector &truth);
+
+/** Root mean squared error between two vectors. */
+double rmse(const linalg::Vector &estimate, const linalg::Vector &truth);
+
+/** Mean absolute error between two vectors. */
+double meanAbsoluteError(const linalg::Vector &estimate,
+                         const linalg::Vector &truth);
+
+/** Mean absolute percentage error (truth entries must be nonzero). */
+double meanAbsolutePercentageError(const linalg::Vector &estimate,
+                                   const linalg::Vector &truth);
+
+/** Pearson correlation coefficient of two vectors. */
+double pearsonCorrelation(const linalg::Vector &a,
+                          const linalg::Vector &b);
+
+/** Sample variance (denominator n - 1). */
+double sampleVariance(const linalg::Vector &v);
+
+/** Sample standard deviation. */
+double sampleStddev(const linalg::Vector &v);
+
+} // namespace leo::stats
+
+#endif // LEO_STATS_METRICS_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Streaming summary statistics.
+ *
+ * The runtime (Section 6.6) watches windows of heartbeat-rate and
+ * power samples; Welford's online algorithm gives numerically stable
+ * running means and variances without storing the window.
+ */
+
+#ifndef LEO_STATS_SUMMARY_HH
+#define LEO_STATS_SUMMARY_HH
+
+#include <cstddef>
+#include <limits>
+
+namespace leo::stats
+{
+
+/**
+ * Welford running mean / variance / extrema accumulator.
+ */
+class RunningStats
+{
+  public:
+    /** Reset to the empty state. */
+    void reset();
+
+    /** Accumulate one observation. */
+    void push(double x);
+
+    /** @return Number of observations so far. */
+    std::size_t count() const { return count_; }
+
+    /** @return Mean of the observations (0 when empty). */
+    double mean() const { return mean_; }
+
+    /** @return Sample variance (denominator n - 1; 0 when n < 2). */
+    double variance() const;
+
+    /** @return Sample standard deviation. */
+    double stddev() const;
+
+    /** @return Smallest observation (+inf when empty). */
+    double min() const { return min_; }
+
+    /** @return Largest observation (-inf when empty). */
+    double max() const { return max_; }
+
+    /** Merge another accumulator into this one (parallel reduce). */
+    void merge(const RunningStats &other);
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace leo::stats
+
+#endif // LEO_STATS_SUMMARY_HH

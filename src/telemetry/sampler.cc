@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Implementation of sampling policies and the profiler.
+ */
+
+#include "telemetry/sampler.hh"
+
+#include <algorithm>
+
+#include "linalg/error.hh"
+
+namespace leo::telemetry
+{
+
+void
+Observations::push(const Sample &s)
+{
+    indices.push_back(s.configIndex);
+    std::vector<double> perf(performance.begin(), performance.end());
+    std::vector<double> pow(power.begin(), power.end());
+    perf.push_back(s.heartbeatRate);
+    pow.push_back(s.powerWatts);
+    performance = linalg::Vector(std::move(perf));
+    power = linalg::Vector(std::move(pow));
+}
+
+std::vector<std::size_t>
+RandomSampler::select(std::size_t space_size, std::size_t budget,
+                      stats::Rng &rng) const
+{
+    const std::size_t k = std::min(space_size, budget);
+    return rng.sampleWithoutReplacement(space_size, k);
+}
+
+std::vector<std::size_t>
+UniformGridSampler::select(std::size_t space_size, std::size_t budget,
+                           stats::Rng &rng) const
+{
+    (void)rng;
+    require(space_size > 0, "UniformGridSampler: empty space");
+    const std::size_t k = std::min(space_size, budget);
+    std::vector<std::size_t> idx;
+    idx.reserve(k);
+    if (k == 0)
+        return idx;
+    // Evenly spaced interior points: for n = 32, k = 6 the stride is
+    // floor(32 / 6) = 5, yielding indices 4, 9, ..., 29 — cores
+    // 5, 10, ..., 30 exactly as in Section 2.
+    const std::size_t stride = std::max<std::size_t>(space_size / k, 1);
+    for (std::size_t j = 1; j <= k; ++j) {
+        const std::size_t i = std::min(j * stride, space_size) - 1;
+        if (idx.empty() || i != idx.back())
+            idx.push_back(i);
+    }
+    return idx;
+}
+
+Profiler::Profiler(const HeartbeatMonitor &monitor, const PowerMeter &meter)
+    : monitor_(monitor), meter_(meter)
+{
+}
+
+Observations
+Profiler::measureAt(const workloads::ApplicationModel &model,
+                    const platform::ConfigSpace &space,
+                    const std::vector<std::size_t> &indices,
+                    stats::Rng &rng) const
+{
+    Observations obs;
+    obs.indices = indices;
+    obs.performance = linalg::Vector(indices.size());
+    obs.power = linalg::Vector(indices.size());
+    for (std::size_t j = 0; j < indices.size(); ++j) {
+        require(indices[j] < space.size(),
+                "Profiler: configuration index out of range");
+        const platform::ResourceAssignment &ra =
+            space.assignment(indices[j]);
+        obs.performance[j] = monitor_.measureRate(model, ra, rng);
+        obs.power[j] = meter_.read(model, ra, rng);
+    }
+    return obs;
+}
+
+Observations
+Profiler::sample(const workloads::ApplicationModel &model,
+                 const platform::ConfigSpace &space,
+                 const SamplingPolicy &policy, std::size_t budget,
+                 stats::Rng &rng) const
+{
+    const std::vector<std::size_t> idx =
+        policy.select(space.size(), budget, rng);
+    return measureAt(model, space, idx, rng);
+}
+
+} // namespace leo::telemetry

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Configuration sampling policies.
+ *
+ * Section 6.3: "We allow LEO and the online method to sample randomly
+ * select 20 configurations each." Section 2's motivational example
+ * instead observes 6 uniformly spaced core counts (5, 10, ..., 30).
+ * Both policies are provided, plus the profiler that actually takes
+ * the measurements.
+ */
+
+#ifndef LEO_TELEMETRY_SAMPLER_HH
+#define LEO_TELEMETRY_SAMPLER_HH
+
+#include <memory>
+#include <vector>
+
+#include "platform/config_space.hh"
+#include "stats/rng.hh"
+#include "telemetry/measurement.hh"
+#include "telemetry/meters.hh"
+
+namespace leo::telemetry
+{
+
+/** Abstract policy choosing which configurations to observe. */
+class SamplingPolicy
+{
+  public:
+    virtual ~SamplingPolicy() = default;
+
+    /**
+     * Choose configurations to observe.
+     *
+     * @param space_size Number of configurations n.
+     * @param budget     Number of observations allowed.
+     * @param rng        Randomness source.
+     * @return Distinct configuration indices (size <= budget).
+     */
+    virtual std::vector<std::size_t> select(std::size_t space_size,
+                                            std::size_t budget,
+                                            stats::Rng &rng) const = 0;
+};
+
+/** Uniformly random distinct configurations (the Section 6 policy). */
+class RandomSampler : public SamplingPolicy
+{
+  public:
+    std::vector<std::size_t> select(std::size_t space_size,
+                                    std::size_t budget,
+                                    stats::Rng &rng) const override;
+};
+
+/**
+ * Evenly spaced configurations (the Section 2 policy: 5, 10, ..., 30
+ * of 32). Deterministic; ignores the RNG.
+ */
+class UniformGridSampler : public SamplingPolicy
+{
+  public:
+    std::vector<std::size_t> select(std::size_t space_size,
+                                    std::size_t budget,
+                                    stats::Rng &rng) const override;
+};
+
+/**
+ * Runs the target application in chosen configurations and collects
+ * its heartbeat rate and wall power — the online measurement step of
+ * LEO's runtime.
+ */
+class Profiler
+{
+  public:
+    /**
+     * @param monitor Heartbeat monitor (borrowed).
+     * @param meter   Power meter (borrowed).
+     */
+    Profiler(const HeartbeatMonitor &monitor, const PowerMeter &meter);
+
+    /**
+     * Measure the application at specific configuration indices.
+     *
+     * @param model   The application.
+     * @param space   The configuration space.
+     * @param indices Which configurations to visit.
+     * @param rng     Noise source.
+     */
+    Observations measureAt(const workloads::ApplicationModel &model,
+                           const platform::ConfigSpace &space,
+                           const std::vector<std::size_t> &indices,
+                           stats::Rng &rng) const;
+
+    /**
+     * Select with a policy, then measure.
+     *
+     * @param model  The application.
+     * @param space  The configuration space.
+     * @param policy Sampling policy.
+     * @param budget Number of observations.
+     * @param rng    Randomness source (selection and noise).
+     */
+    Observations sample(const workloads::ApplicationModel &model,
+                        const platform::ConfigSpace &space,
+                        const SamplingPolicy &policy, std::size_t budget,
+                        stats::Rng &rng) const;
+
+  private:
+    const HeartbeatMonitor &monitor_;
+    const PowerMeter &meter_;
+};
+
+} // namespace leo::telemetry
+
+#endif // LEO_TELEMETRY_SAMPLER_HH

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Implementation of exhaustive ground-truth evaluation.
+ */
+
+#include "workloads/ground_truth.hh"
+
+namespace leo::workloads
+{
+
+GroundTruth
+computeGroundTruth(const ApplicationModel &model,
+                   const platform::ConfigSpace &space)
+{
+    GroundTruth gt;
+    gt.performance = linalg::Vector(space.size());
+    gt.power = linalg::Vector(space.size());
+    for (std::size_t c = 0; c < space.size(); ++c) {
+        const platform::ResourceAssignment &ra = space.assignment(c);
+        gt.performance[c] = model.heartbeatRate(ra);
+        gt.power[c] = model.powerWatts(ra);
+    }
+    return gt;
+}
+
+} // namespace leo::workloads

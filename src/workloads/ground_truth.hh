@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Exhaustive ground truth over a configuration space.
+ *
+ * Plays the role of the paper's "Exhaustive search" baseline
+ * (Section 6.2): the true performance and power of an application in
+ * every configuration. On the real testbed this took hours to days
+ * per application (Section 6.7); on the simulator it is a loop.
+ */
+
+#ifndef LEO_WORKLOADS_GROUND_TRUTH_HH
+#define LEO_WORKLOADS_GROUND_TRUTH_HH
+
+#include "linalg/vector.hh"
+#include "platform/config_space.hh"
+#include "workloads/app_model.hh"
+
+namespace leo::workloads
+{
+
+/** True performance/power vectors of one application on one space. */
+struct GroundTruth
+{
+    /** True heartbeat rate per configuration (heartbeats/s). */
+    linalg::Vector performance;
+    /** True wall power per configuration (Watts). */
+    linalg::Vector power;
+};
+
+/**
+ * Evaluate an application model across every configuration.
+ *
+ * @param model The application.
+ * @param space The configuration space.
+ * @return Performance and power vectors of length space.size().
+ */
+GroundTruth computeGroundTruth(const ApplicationModel &model,
+                               const platform::ConfigSpace &space);
+
+} // namespace leo::workloads
+
+#endif // LEO_WORKLOADS_GROUND_TRUTH_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Implementation of input-dependent profile perturbation.
+ */
+
+#include "workloads/inputs.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/error.hh"
+
+namespace leo::workloads
+{
+
+namespace
+{
+
+/** SplitMix64 step (same mixer as the model texture). */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Deterministic uniform in [-1, 1] from (seed, input, salt). */
+double
+signedUnit(std::uint64_t seed, std::uint64_t input, std::uint64_t salt)
+{
+    const std::uint64_t h = mix64(mix64(seed ^ salt) ^ input);
+    const double u = static_cast<double>(h >> 11) /
+                     static_cast<double>(1ull << 53);
+    return 2.0 * u - 1.0;
+}
+
+} // namespace
+
+ApplicationProfile
+withInput(const ApplicationProfile &base, std::uint64_t input_id,
+          const InputVariation &variation)
+{
+    require(variation.rateSpread >= 0.0 &&
+                variation.memorySpread >= 0.0 &&
+                variation.serialSpread >= 0.0 &&
+                variation.peakShift >= 0.0,
+            "withInput: spreads must be non-negative");
+    if (input_id == 0)
+        return base;
+
+    ApplicationProfile p = base;
+    const std::uint64_t seed = base.textureSeed;
+
+    // Work per heartbeat: a bigger input clusters more samples per
+    // heartbeat, scaling the rate multiplicatively.
+    p.baseHeartbeatRate *=
+        std::exp(signedUnit(seed, input_id, 0x11) *
+                 std::log1p(variation.rateSpread));
+
+    // Working set: memory pressure moves with the input size.
+    p.memIntensity *= 1.0 + signedUnit(seed, input_id, 0x22) *
+                                variation.memorySpread;
+    p.memIntensity = std::max(p.memIntensity, 0.0);
+
+    // Serial fraction headroom (Amdahl-family parameters only).
+    if (p.kind == ScalingKind::Amdahl ||
+        p.kind == ScalingKind::Peaked ||
+        p.kind == ScalingKind::Saturating) {
+        const double serial = 1.0 - p.scaleParam;
+        const double scaled =
+            serial * (1.0 + signedUnit(seed, input_id, 0x33) *
+                                variation.serialSpread);
+        p.scaleParam = std::clamp(1.0 - scaled, 0.0, 1.0);
+    }
+
+    // Peak / saturation point shifts with the balance of work.
+    if (p.kind == ScalingKind::Peaked ||
+        p.kind == ScalingKind::Saturating) {
+        p.scalePeak = std::max(
+            1.0, p.scalePeak + signedUnit(seed, input_id, 0x44) *
+                                   variation.peakShift);
+    }
+
+    // The per-configuration quirks change with the data too.
+    p.textureSeed = mix64(seed ^ input_id);
+    return p;
+}
+
+} // namespace leo::workloads

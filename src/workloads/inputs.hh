@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Input-dependent application behaviour.
+ *
+ * Section 4: "Unfortunately, power and performance are entirely
+ * application dependent. For many applications, these values also
+ * vary with varying inputs." A new input changes the working-set
+ * size, the work per heartbeat and the balance point of the scaling
+ * curve — so an application profiled offline on one input is only a
+ * *relative* of itself on another. These helpers derive
+ * input-perturbed variants of a profile deterministically from an
+ * input identifier, used by the tests to show LEO treating a known
+ * application with a fresh input like a (well-conditioned) new
+ * application.
+ */
+
+#ifndef LEO_WORKLOADS_INPUTS_HH
+#define LEO_WORKLOADS_INPUTS_HH
+
+#include <cstdint>
+
+#include "workloads/app_model.hh"
+
+namespace leo::workloads
+{
+
+/** How strongly an input perturbs each profile dimension. */
+struct InputVariation
+{
+    /** Max relative change of work per heartbeat (rate scale). */
+    double rateSpread = 0.5;
+    /** Max relative change of memory intensity. */
+    double memorySpread = 0.25;
+    /** Max relative change of the parallel fraction's headroom
+     *  (applied to 1 - scaleParam for Amdahl-family curves). */
+    double serialSpread = 0.3;
+    /** Max absolute shift of the peak/saturation thread count. */
+    double peakShift = 2.0;
+};
+
+/**
+ * Derive the profile of an application running a different input.
+ *
+ * Deterministic in (profile.textureSeed, input_id): the same input
+ * always produces the same behaviour.
+ *
+ * @param base      Profile measured on the reference input.
+ * @param input_id  Identifier of the new input (0 = reference input,
+ *                  returned unchanged).
+ * @param variation Perturbation magnitudes.
+ */
+ApplicationProfile withInput(const ApplicationProfile &base,
+                             std::uint64_t input_id,
+                             const InputVariation &variation =
+                                 InputVariation{});
+
+} // namespace leo::workloads
+
+#endif // LEO_WORKLOADS_INPUTS_HH

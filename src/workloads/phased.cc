@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Implementation of multi-phase applications.
+ */
+
+#include "workloads/phased.hh"
+
+#include "linalg/error.hh"
+#include "workloads/suite.hh"
+
+namespace leo::workloads
+{
+
+PhasedApplication::PhasedApplication(std::vector<Phase> phases)
+    : phases_(std::move(phases))
+{
+    require(!phases_.empty(), "PhasedApplication needs >= 1 phase");
+    for (const Phase &p : phases_)
+        require(p.frames > 0, "PhasedApplication: empty phase");
+}
+
+PhasedApplication
+PhasedApplication::fluidanimateTwoPhase(std::size_t frames_per_phase)
+{
+    ApplicationProfile heavy = profileByName("fluidanimate");
+    ApplicationProfile light = heavy;
+    // 2/3 the work per frame <=> 3/2 the frame rate everywhere.
+    light.baseHeartbeatRate *= 1.5;
+    light.textureSeed ^= 0x51u;
+    return PhasedApplication(
+        {Phase{heavy, frames_per_phase}, Phase{light, frames_per_phase}});
+}
+
+std::size_t
+PhasedApplication::totalFrames() const
+{
+    std::size_t total = 0;
+    for (const Phase &p : phases_)
+        total += p.frames;
+    return total;
+}
+
+std::size_t
+PhasedApplication::phaseIndexAt(std::size_t frame) const
+{
+    std::size_t offset = 0;
+    for (std::size_t i = 0; i < phases_.size(); ++i) {
+        offset += phases_[i].frames;
+        if (frame < offset)
+            return i;
+    }
+    fatal("PhasedApplication: frame index past the end");
+}
+
+const ApplicationProfile &
+PhasedApplication::profileAt(std::size_t frame) const
+{
+    return phases_[phaseIndexAt(frame)].profile;
+}
+
+} // namespace leo::workloads

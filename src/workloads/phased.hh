@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Multi-phase applications.
+ *
+ * Section 6.6 runs fluidanimate on an input with two distinct phases:
+ * both must render frames at the same real-time rate, but the second
+ * phase needs only 2/3 of the resources per frame. A phase change is
+ * a step change in the application's performance/power response that
+ * the runtime must detect and re-estimate.
+ */
+
+#ifndef LEO_WORKLOADS_PHASED_HH
+#define LEO_WORKLOADS_PHASED_HH
+
+#include <vector>
+
+#include "workloads/app_model.hh"
+
+namespace leo::workloads
+{
+
+/** One phase: a behaviour and how many frames it lasts. */
+struct Phase
+{
+    /** Application behaviour during the phase. */
+    ApplicationProfile profile;
+    /** Number of frames (heartbeats) in the phase. */
+    std::size_t frames = 0;
+};
+
+/**
+ * An application whose behaviour changes at known frame boundaries.
+ * The runtime sees only heartbeats and power; it must infer the
+ * change itself.
+ */
+class PhasedApplication
+{
+  public:
+    /** @param phases The phase sequence (at least one). */
+    explicit PhasedApplication(std::vector<Phase> phases);
+
+    /**
+     * The Section 6.6 workload: fluidanimate where the second phase
+     * requires 2/3 the resources per frame (modelled as a 3/2 higher
+     * heartbeat rate at every configuration).
+     *
+     * @param frames_per_phase Frames in each of the two phases.
+     */
+    static PhasedApplication fluidanimateTwoPhase(
+        std::size_t frames_per_phase = 100);
+
+    /** @return The phase list. */
+    const std::vector<Phase> &phases() const { return phases_; }
+
+    /** @return Total frames across all phases. */
+    std::size_t totalFrames() const;
+
+    /**
+     * @param frame Global frame index (0-based).
+     * @return Index of the phase containing that frame.
+     */
+    std::size_t phaseIndexAt(std::size_t frame) const;
+
+    /** @return The profile active at a global frame index. */
+    const ApplicationProfile &profileAt(std::size_t frame) const;
+
+  private:
+    std::vector<Phase> phases_;
+};
+
+} // namespace leo::workloads
+
+#endif // LEO_WORKLOADS_PHASED_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Implementation of the thread-scaling curves.
+ */
+
+#include "workloads/scaling.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/error.hh"
+
+namespace leo::workloads
+{
+
+AmdahlScaling::AmdahlScaling(double parallel_fraction)
+    : p_(parallel_fraction)
+{
+    require(p_ >= 0.0 && p_ <= 1.0,
+            "AmdahlScaling: parallel fraction must be in [0, 1]");
+}
+
+double
+AmdahlScaling::speedup(double k) const
+{
+    require(k >= 1.0, "ScalingCurve: k must be >= 1");
+    return 1.0 / ((1.0 - p_) + p_ / k);
+}
+
+PeakedScaling::PeakedScaling(double parallel_fraction, double peak,
+                             double decay)
+    : base_(parallel_fraction), peak_(peak), decay_(decay)
+{
+    require(peak_ >= 1.0, "PeakedScaling: peak must be >= 1");
+    require(decay_ > 0.0 && decay_ < 1.0,
+            "PeakedScaling: decay must be in (0, 1)");
+}
+
+double
+PeakedScaling::speedup(double k) const
+{
+    require(k >= 1.0, "ScalingCurve: k must be >= 1");
+    if (k <= peak_)
+        return base_.speedup(k);
+    return base_.speedup(peak_) * std::pow(decay_, k - peak_);
+}
+
+SaturatingScaling::SaturatingScaling(double parallel_fraction,
+                                     double saturation)
+    : base_(parallel_fraction), saturation_(saturation)
+{
+    require(saturation_ >= 1.0,
+            "SaturatingScaling: saturation must be >= 1");
+}
+
+double
+SaturatingScaling::speedup(double k) const
+{
+    require(k >= 1.0, "ScalingCurve: k must be >= 1");
+    return base_.speedup(std::min(k, saturation_));
+}
+
+LinearScaling::LinearScaling(double efficiency) : efficiency_(efficiency)
+{
+    require(efficiency_ > 0.0 && efficiency_ <= 1.0,
+            "LinearScaling: efficiency must be in (0, 1]");
+}
+
+double
+LinearScaling::speedup(double k) const
+{
+    require(k >= 1.0, "ScalingCurve: k must be >= 1");
+    return 1.0 + efficiency_ * (k - 1.0);
+}
+
+LogScaling::LogScaling(double gain) : gain_(gain)
+{
+    require(gain_ > 0.0, "LogScaling: gain must be > 0");
+}
+
+double
+LogScaling::speedup(double k) const
+{
+    require(k >= 1.0, "ScalingCurve: k must be >= 1");
+    return 1.0 + gain_ * std::log(k);
+}
+
+} // namespace leo::workloads

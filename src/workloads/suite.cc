@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Definition of the 25-benchmark suite.
+ */
+
+#include "workloads/suite.hh"
+
+#include "linalg/error.hh"
+
+namespace leo::workloads
+{
+
+namespace
+{
+
+/** Builder shorthand for the table below. */
+ApplicationProfile
+app(std::string name, std::string suite, double base_hb,
+    ScalingKind kind, double scale_param, double peak, double decay,
+    double ht_eff, double freq_sens, double mem_int, double io_frac,
+    double activity, double stall_act, double texture_amp,
+    std::uint64_t seed)
+{
+    ApplicationProfile p;
+    p.name = std::move(name);
+    p.suite = std::move(suite);
+    p.baseHeartbeatRate = base_hb;
+    p.kind = kind;
+    p.scaleParam = scale_param;
+    p.scalePeak = peak;
+    p.scaleDecay = decay;
+    p.htEfficiency = ht_eff;
+    p.freqSensitivity = freq_sens;
+    p.memIntensity = mem_int;
+    p.ioBoundFraction = io_frac;
+    p.activityFactor = activity;
+    p.stallActivity = stall_act;
+    p.textureAmplitude = texture_amp;
+    p.textureSeed = seed;
+    return p;
+}
+
+std::vector<ApplicationProfile>
+buildSuite()
+{
+    using K = ScalingKind;
+    std::vector<ApplicationProfile> s;
+    s.reserve(25);
+
+    // --- PARSEC ---------------------------------------------------
+    s.push_back(app("blackscholes", "parsec", 120.0, K::Linear, 0.93,
+                    0, 0, 0.50, 0.95, 0.015, 0.00, 1.15, 0.45, 0.015, 101));
+    s.push_back(app("bodytrack", "parsec", 45.0, K::Amdahl, 0.85,
+                    0, 0, 0.40, 0.80, 0.040, 0.02, 0.95, 0.40, 0.020, 102));
+    s.push_back(app("fluidanimate", "parsec", 25.0, K::Amdahl, 0.95,
+                    0, 0, 0.35, 0.75, 0.060, 0.00, 1.05, 0.55, 0.020, 103));
+    s.push_back(app("swaptions", "parsec", 80.0, K::Linear, 0.97,
+                    0, 0, 0.55, 0.97, 0.010, 0.00, 1.20, 0.45, 0.015, 104));
+    s.push_back(app("x264", "parsec", 30.0, K::Saturating, 0.94,
+                    16, 0, 0.30, 0.85, 0.050, 0.00, 1.00, 0.50, 0.025, 105));
+
+    // --- MineBench ------------------------------------------------
+    s.push_back(app("ScalParC", "minebench", 15.0, K::Amdahl, 0.78,
+                    0, 0, 0.30, 0.70, 0.080, 0.00, 0.90, 0.40, 0.020, 201));
+    s.push_back(app("apr", "minebench", 22.0, K::Amdahl, 0.80,
+                    0, 0, 0.25, 0.65, 0.070, 0.12, 0.85, 0.35, 0.020, 202));
+    s.push_back(app("semphy", "minebench", 8.0, K::Amdahl, 0.97,
+                    0, 0, 0.35, 0.88, 0.030, 0.00, 1.10, 0.50, 0.020, 203));
+    s.push_back(app("svmrfe", "minebench", 18.0, K::Saturating, 0.90,
+                    12, 0, 0.20, 0.75, 0.090, 0.00, 0.95, 0.45, 0.020, 204));
+    s.push_back(app("kmeans", "minebench", 50.0, K::Peaked, 0.96,
+                    8, 0.93, 0.10, 0.80, 0.070, 0.00, 1.05, 0.70, 0.020, 205));
+    s.push_back(app("HOP", "minebench", 60.0, K::Amdahl, 0.92,
+                    0, 0, 0.30, 0.55, 0.060, 0.08, 0.90, 0.40, 0.020, 206));
+    s.push_back(app("PLSA", "minebench", 12.0, K::Peaked, 0.90,
+                    12, 0.96, 0.20, 0.80, 0.050, 0.00, 0.95, 0.60, 0.020, 207));
+    s.push_back(app("kmeansnf", "minebench", 48.0, K::Peaked, 0.95,
+                    10, 0.94, 0.12, 0.78, 0.070, 0.00, 1.00, 0.68, 0.020, 208));
+
+    // --- Rodinia --------------------------------------------------
+    s.push_back(app("cfd", "rodinia", 35.0, K::Amdahl, 0.93,
+                    0, 0, 0.25, 0.50, 0.180, 0.00, 0.88, 0.50, 0.025, 301));
+    s.push_back(app("nn", "rodinia", 90.0, K::Log, 2.2,
+                    0, 0, 0.20, 0.45, 0.140, 0.00, 0.62, 0.62, 0.025, 302));
+    s.push_back(app("lud", "rodinia", 40.0, K::Amdahl, 0.84,
+                    0, 0, 0.30, 0.95, 0.030, 0.00, 1.00, 0.45, 0.020, 303));
+    s.push_back(app("particlefilter", "rodinia", 28.0, K::Amdahl, 0.96,
+                    0, 0, 0.35, 0.90, 0.040, 0.00, 0.95, 0.50, 0.020, 304));
+    s.push_back(app("vips", "rodinia", 33.0, K::Saturating, 0.92,
+                    20, 0, 0.30, 0.75, 0.060, 0.10, 0.90, 0.40, 0.020, 305));
+    s.push_back(app("btree", "rodinia", 70.0, K::Amdahl, 0.72,
+                    0, 0, 0.25, 0.55, 0.120, 0.10, 0.75, 0.30, 0.020, 306));
+    s.push_back(app("streamcluster", "rodinia", 20.0, K::Amdahl, 0.94,
+                    0, 0, 0.15, 0.45, 0.200, 0.00, 0.68, 0.28, 0.025, 307));
+    s.push_back(app("backprop", "rodinia", 55.0, K::Amdahl, 0.82,
+                    0, 0, 0.25, 0.60, 0.140, 0.00, 0.85, 0.55, 0.020, 308));
+    s.push_back(app("bfs", "rodinia", 65.0, K::Log, 2.0,
+                    0, 0, 0.20, 0.40, 0.180, 0.00, 0.58, 0.25, 0.030, 309));
+
+    // --- Other ----------------------------------------------------
+    s.push_back(app("jacobi", "other", 42.0, K::Amdahl, 0.95,
+                    0, 0, 0.10, 0.35, 0.220, 0.00, 0.75, 0.66, 0.025, 401));
+    s.push_back(app("filebound", "other", 100.0, K::Amdahl, 0.70,
+                    0, 0, 0.10, 0.25, 0.030, 0.35, 0.50, 0.35, 0.015, 402));
+    s.push_back(app("swish", "other", 200.0, K::Peaked, 0.95,
+                    16, 0.97, 0.30, 0.65, 0.080, 0.15, 0.80, 0.45, 0.025, 403));
+
+    invariant(s.size() == 25, "standard suite must have 25 entries");
+    return s;
+}
+
+} // namespace
+
+const std::vector<ApplicationProfile> &
+standardSuite()
+{
+    static const std::vector<ApplicationProfile> suite = buildSuite();
+    return suite;
+}
+
+const ApplicationProfile &
+profileByName(const std::string &name)
+{
+    for (const ApplicationProfile &p : standardSuite())
+        if (p.name == name)
+            return p;
+    fatal("unknown benchmark name: " + name);
+}
+
+std::vector<std::string>
+suiteNames()
+{
+    std::vector<std::string> names;
+    names.reserve(standardSuite().size());
+    for (const ApplicationProfile &p : standardSuite())
+        names.push_back(p.name);
+    return names;
+}
+
+} // namespace leo::workloads

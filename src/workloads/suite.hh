@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The 25-benchmark suite of Section 6.1.
+ *
+ * Synthetic stand-ins for PARSEC (blackscholes, bodytrack,
+ * fluidanimate, swaptions, x264), MineBench (ScalParC, apr, semphy,
+ * svmrfe, kmeans, HOP, PLSA, kmeansnf), Rodinia (cfd, nn, lud,
+ * particlefilter, vips, btree, streamcluster, backprop, bfs), plus
+ * jacobi, filebound and swish. The per-application parameters are
+ * chosen to reproduce the behaviours the paper calls out by name:
+ * kmeans peaks at 8 cores, swish at 16, x264 flat past 16, and a wide
+ * spread of memory-, compute- and IO-bound responses so that offline
+ * averaging is a weak performance predictor (Fig. 5) while power is
+ * more machine- than application-determined (Fig. 6).
+ */
+
+#ifndef LEO_WORKLOADS_SUITE_HH
+#define LEO_WORKLOADS_SUITE_HH
+
+#include <vector>
+
+#include "workloads/app_model.hh"
+
+namespace leo::workloads
+{
+
+/** @return All 25 application profiles of the evaluation suite. */
+const std::vector<ApplicationProfile> &standardSuite();
+
+/**
+ * Look up a profile by benchmark name.
+ *
+ * @param name Benchmark name, e.g. "kmeans".
+ * @return The profile; fatal() when the name is unknown.
+ */
+const ApplicationProfile &profileByName(const std::string &name);
+
+/** @return The names of all suite members, in suite order. */
+std::vector<std::string> suiteNames();
+
+} // namespace leo::workloads
+
+#endif // LEO_WORKLOADS_SUITE_HH

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the symmetric eigensolver and the rank analysis of the
+ * learned covariance.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "estimators/leo.hh"
+#include "linalg/eigen.hh"
+#include "linalg/error.hh"
+#include "platform/config_space.hh"
+#include "stats/rng.hh"
+#include "telemetry/profile_store.hh"
+#include "telemetry/sampler.hh"
+#include "workloads/suite.hh"
+
+using namespace leo;
+using linalg::Matrix;
+using linalg::Vector;
+
+TEST(Eigen, DiagonalMatrix)
+{
+    Matrix a = Matrix::diag(Vector{3.0, 1.0, 2.0});
+    auto e = linalg::symmetricEigen(a);
+    EXPECT_TRUE(e.converged);
+    EXPECT_DOUBLE_EQ(e.values[0], 3.0);
+    EXPECT_DOUBLE_EQ(e.values[1], 2.0);
+    EXPECT_DOUBLE_EQ(e.values[2], 1.0);
+}
+
+TEST(Eigen, KnownTwoByTwo)
+{
+    // [[2,1],[1,2]] has eigenvalues 3 and 1.
+    Matrix a{{2.0, 1.0}, {1.0, 2.0}};
+    auto e = linalg::symmetricEigen(a);
+    EXPECT_NEAR(e.values[0], 3.0, 1e-12);
+    EXPECT_NEAR(e.values[1], 1.0, 1e-12);
+    // Eigenvector of 3 is (1,1)/sqrt(2) up to sign.
+    EXPECT_NEAR(std::abs(e.vectors(0, 0)), 1.0 / std::sqrt(2.0),
+                1e-10);
+}
+
+TEST(Eigen, ReconstructionAndOrthogonality)
+{
+    stats::Rng rng(33);
+    const std::size_t n = 16;
+    Matrix b(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            b(i, j) = rng.gaussian();
+    Matrix a = b * b.transpose();
+
+    auto e = linalg::symmetricEigen(a);
+    ASSERT_TRUE(e.converged);
+
+    // V diag(w) V' == A.
+    Matrix recon =
+        e.vectors * Matrix::diag(e.values) * e.vectors.transpose();
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            EXPECT_NEAR(recon(i, j), a(i, j),
+                        1e-8 * (1.0 + std::abs(a(i, j))));
+
+    // V' V == I.
+    Matrix vtv = e.vectors.transpose() * e.vectors;
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            EXPECT_NEAR(vtv(i, j), i == j ? 1.0 : 0.0, 1e-10);
+
+    // Trace preserved.
+    EXPECT_NEAR(e.values.sum(), a.trace(), 1e-8);
+}
+
+TEST(Eigen, RejectsAsymmetric)
+{
+    Matrix a{{1.0, 2.0}, {0.0, 1.0}};
+    EXPECT_THROW(linalg::symmetricEigen(a), FatalError);
+}
+
+TEST(Eigen, EffectiveRank)
+{
+    EXPECT_EQ(linalg::effectiveRank(Vector{10.0, 0.0, 0.0}), 1u);
+    EXPECT_EQ(linalg::effectiveRank(Vector{5.0, 5.0, 0.0}, 0.99),
+              2u);
+    EXPECT_EQ(linalg::effectiveRank(Vector{1.0, 1.0, 1.0, 1.0}, 1.0),
+              4u);
+    // Negative round-off eigenvalues are clamped.
+    EXPECT_EQ(linalg::effectiveRank(Vector{3.0, -1e-14}, 0.9), 1u);
+    EXPECT_THROW(linalg::effectiveRank(Vector{1.0}, 0.0), FatalError);
+}
+
+TEST(Eigen, LearnedSigmaIsEffectivelyLowRank)
+{
+    // The DESIGN.md discussion: with M-1 = 24 fully observed priors
+    // the learned Sigma carries at most ~M directions of real
+    // variance (plus the psi I regularizer). Verify on the 32-point
+    // space: 99% of the trace in <= 25 directions, and far fewer
+    // than n directions carry 90%.
+    platform::Machine machine;
+    auto space = platform::ConfigSpace::coreOnly(machine);
+    stats::Rng rng(7);
+    telemetry::HeartbeatMonitor mon;
+    telemetry::WattsUpMeter met;
+    auto store = telemetry::ProfileStore::collect(
+        workloads::standardSuite(), machine, space, mon, met, rng);
+
+    workloads::ApplicationModel app(
+        workloads::profileByName("kmeans"), machine);
+    telemetry::Profiler prof(mon, met);
+    telemetry::RandomSampler pol;
+    auto obs = prof.sample(app, space, pol, 8, rng);
+
+    estimators::LeoEstimator leo;
+    auto fit = leo.fitMetric(
+        estimators::priorVectors(store.without("kmeans"),
+                                 estimators::Metric::Performance),
+        obs.indices, obs.performance);
+
+    auto e = linalg::symmetricEigen(fit.sigma);
+    ASSERT_TRUE(e.converged);
+    EXPECT_GE(e.values.min(), -1e-9); // PSD up to round-off
+    EXPECT_LE(linalg::effectiveRank(e.values, 0.90), 12u);
+    EXPECT_LE(linalg::effectiveRank(e.values, 0.99), 26u);
+}

@@ -1,0 +1,470 @@
+/**
+ * @file
+ * Unit tests for the estimators: LEO (hierarchical Bayes + EM),
+ * Online (polynomial regression) and Offline (prior mean).
+ */
+
+#include <gtest/gtest.h>
+
+#include "estimators/leo.hh"
+#include "estimators/normalization.hh"
+#include "estimators/offline.hh"
+#include "estimators/online.hh"
+#include "linalg/error.hh"
+#include "platform/config_space.hh"
+#include "stats/metrics.hh"
+#include "stats/mvn.hh"
+#include "telemetry/sampler.hh"
+#include "workloads/ground_truth.hh"
+#include "workloads/suite.hh"
+
+using namespace leo;
+using linalg::Matrix;
+using linalg::Vector;
+using platform::ConfigSpace;
+using platform::Machine;
+
+namespace
+{
+
+/** Small test fixture: the 32-point core-only space with the suite. */
+struct CoreOnlyWorld
+{
+    Machine machine;
+    ConfigSpace space = ConfigSpace::coreOnly(machine);
+    telemetry::HeartbeatMonitor monitor{0.01};
+    telemetry::WattsUpMeter meter{0.005, 0.1};
+    stats::Rng rng{2024};
+
+    std::vector<Vector>
+    priorPerf(const std::string &exclude)
+    {
+        std::vector<Vector> out;
+        for (const auto &p : workloads::standardSuite()) {
+            if (p.name == exclude)
+                continue;
+            workloads::ApplicationModel m(p, machine);
+            out.push_back(
+                workloads::computeGroundTruth(m, space).performance);
+        }
+        return out;
+    }
+
+    Vector
+    truthPerf(const std::string &name)
+    {
+        workloads::ApplicationModel m(
+            workloads::profileByName(name), machine);
+        return workloads::computeGroundTruth(m, space).performance;
+    }
+};
+
+} // namespace
+
+// -------------------------------------------------------- Normalization
+
+TEST(Normalization, ShapesHaveUnitMean)
+{
+    std::vector<Vector> prior{Vector{2.0, 4.0}, Vector{10.0, 30.0}};
+    auto shapes = estimators::normalizeShapes(prior);
+    ASSERT_EQ(shapes.size(), 2u);
+    EXPECT_NEAR(shapes[0].mean(), 1.0, 1e-12);
+    EXPECT_NEAR(shapes[1].mean(), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(shapes[1][1], 1.5);
+}
+
+TEST(Normalization, RejectsDegenerate)
+{
+    EXPECT_THROW(estimators::normalizeShapes({Vector{}}), FatalError);
+    EXPECT_THROW(estimators::normalizeShapes({Vector{-1.0, 1.0}}),
+                 FatalError);
+    EXPECT_THROW(estimators::observedScale(Vector{}), FatalError);
+}
+
+// -------------------------------------------------------------- Offline
+
+TEST(Offline, MeanShapeIsAverage)
+{
+    std::vector<Vector> prior{Vector{1.0, 3.0}, Vector{3.0, 1.0}};
+    Vector shape = estimators::OfflineEstimator::meanShape(prior);
+    // Both normalize to mean 1: (0.5,1.5) and (1.5,0.5) -> (1,1).
+    EXPECT_NEAR(shape[0], 1.0, 1e-12);
+    EXPECT_NEAR(shape[1], 1.0, 1e-12);
+}
+
+TEST(Offline, AnchorsToObservedScale)
+{
+    CoreOnlyWorld w;
+    auto prior = w.priorPerf("kmeans");
+    estimators::OfflineEstimator off;
+    // Observe two configs of a hypothetical app at scale ~100.
+    auto est = off.estimateMetric(w.space, prior, {0, 16},
+                                  Vector{80.0, 120.0});
+    EXPECT_TRUE(est.reliable);
+    // The estimate's scale is anchored near the observations.
+    EXPECT_NEAR(est.values.gather({0, 16}).mean(), 100.0, 25.0);
+}
+
+TEST(Offline, IgnoresObservedShape)
+{
+    // Offline never adapts its shape: two different observation
+    // SHAPES with the same mean produce the same estimate.
+    CoreOnlyWorld w;
+    auto prior = w.priorPerf("kmeans");
+    estimators::OfflineEstimator off;
+    auto a = off.estimateMetric(w.space, prior, {0, 31},
+                                Vector{50.0, 150.0});
+    auto b = off.estimateMetric(w.space, prior, {0, 31},
+                                Vector{150.0, 50.0});
+    for (std::size_t c = 0; c < w.space.size(); ++c)
+        EXPECT_NEAR(a.values[c], b.values[c], 1e-9);
+}
+
+TEST(Offline, RequiresPrior)
+{
+    CoreOnlyWorld w;
+    estimators::OfflineEstimator off;
+    EXPECT_THROW(off.estimateMetric(w.space, {}, {}, Vector{}),
+                 FatalError);
+}
+
+// --------------------------------------------------------------- Online
+
+TEST(Online, RankDeficientBelowFeatureCount)
+{
+    // Full space has 4 knobs, degree 2 -> 15 features; below 15
+    // samples the estimate must be flagged unreliable (Fig. 12).
+    Machine m;
+    auto space = ConfigSpace::fullFactorial(m);
+    workloads::ApplicationModel app(
+        workloads::profileByName("x264"), m);
+    telemetry::HeartbeatMonitor mon(0.0);
+    telemetry::WattsUpMeter met(0.0, 0.0);
+    telemetry::Profiler prof(mon, met);
+    telemetry::RandomSampler pol;
+    stats::Rng rng(3);
+    estimators::OnlineEstimator online;
+
+    auto obs14 = prof.sample(app, space, pol, 14, rng);
+    auto est14 = online.estimateMetric(space, {}, obs14.indices,
+                                       obs14.performance);
+    EXPECT_FALSE(est14.reliable);
+
+    auto obs20 = prof.sample(app, space, pol, 20, rng);
+    auto est20 = online.estimateMetric(space, {}, obs20.indices,
+                                       obs20.performance);
+    EXPECT_TRUE(est20.reliable);
+}
+
+TEST(Online, FitsSmoothSurfacesWell)
+{
+    // A quadratic-ish smooth application: degree-2 online regression
+    // should reach high accuracy with ample samples.
+    Machine m;
+    auto space = ConfigSpace::fullFactorial(m);
+    workloads::ApplicationProfile p =
+        workloads::profileByName("blackscholes");
+    p.textureAmplitude = 0.0;
+    workloads::ApplicationModel app(p, m);
+    auto gt = workloads::computeGroundTruth(app, space);
+
+    telemetry::HeartbeatMonitor mon(0.0);
+    telemetry::WattsUpMeter met(0.0, 0.0);
+    telemetry::Profiler prof(mon, met);
+    telemetry::RandomSampler pol;
+    stats::Rng rng(5);
+    auto obs = prof.sample(app, space, pol, 200, rng);
+
+    estimators::OnlineEstimator online;
+    auto est = online.estimateMetric(space, {}, obs.indices,
+                                     obs.performance);
+    EXPECT_TRUE(est.reliable);
+    EXPECT_GT(stats::accuracy(est.values, gt.performance), 0.9);
+}
+
+TEST(Online, NoObservationsUnreliable)
+{
+    CoreOnlyWorld w;
+    estimators::OnlineEstimator online;
+    auto est = online.estimateMetric(w.space, {}, {}, Vector{});
+    EXPECT_FALSE(est.reliable);
+}
+
+TEST(Online, PredictionsNonNegative)
+{
+    CoreOnlyWorld w;
+    workloads::ApplicationModel app(
+        workloads::profileByName("kmeans"), w.machine);
+    telemetry::Profiler prof(w.monitor, w.meter);
+    telemetry::RandomSampler pol;
+    auto obs = prof.sample(app, w.space, pol, 12, w.rng);
+    estimators::OnlineEstimator online;
+    auto est = online.estimateMetric(w.space, {}, obs.indices,
+                                     obs.performance);
+    EXPECT_GE(est.values.min(), 0.0);
+}
+
+// ------------------------------------------------------------------ LEO
+
+TEST(Leo, RecoversModelGeneratedData)
+{
+    // Property test: generate applications *from the hierarchical
+    // model itself* (Equation 2) and verify EM recovers the target
+    // vector to high accuracy from partial observations.
+    const std::size_t n = 24;
+    const std::size_t m_apps = 30;
+    stats::Rng rng(99);
+
+    // A smooth random mean and a low-rank-plus-diagonal covariance.
+    Vector mu(n);
+    for (std::size_t j = 0; j < n; ++j)
+        mu[j] = 5.0 + 2.0 * std::sin(0.3 * static_cast<double>(j));
+    Matrix cov(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            cov(i, j) = 1.5 * std::exp(
+                -0.05 * static_cast<double>((i - j) * (i - j)));
+    cov.addToDiagonal(0.05);
+
+    stats::MultivariateNormal latent(mu, cov);
+    const double noise_sd = 0.05;
+
+    std::vector<Vector> prior;
+    for (std::size_t a = 0; a + 1 < m_apps; ++a) {
+        Vector z = latent.sample(rng);
+        for (std::size_t j = 0; j < n; ++j)
+            z[j] = std::max(z[j] + rng.gaussian(0, noise_sd), 0.1);
+        prior.push_back(z);
+    }
+    Vector target = latent.sample(rng);
+    for (std::size_t j = 0; j < n; ++j)
+        target[j] = std::max(target[j], 0.1);
+
+    std::vector<std::size_t> obs_idx{1, 5, 9, 13, 17, 21};
+    Vector obs_vals(obs_idx.size());
+    for (std::size_t k = 0; k < obs_idx.size(); ++k)
+        obs_vals[k] = target[obs_idx[k]] + rng.gaussian(0, noise_sd);
+
+    estimators::LeoEstimator leo;
+    auto fit = leo.fitMetric(prior, obs_idx, obs_vals);
+    EXPECT_GT(stats::accuracy(fit.prediction, target), 0.85);
+    EXPECT_TRUE(fit.prediction.allFinite());
+    EXPECT_GT(fit.sigma2, 0.0);
+}
+
+TEST(Leo, BeatsOfflineAndOnlineOnKmeans)
+{
+    // The motivating example: kmeans' peak at 8 cores with 6
+    // uniformly spaced observations (Section 2 / Figure 1).
+    CoreOnlyWorld w;
+    auto prior = w.priorPerf("kmeans");
+    auto truth = w.truthPerf("kmeans");
+
+    workloads::ApplicationModel app(
+        workloads::profileByName("kmeans"), w.machine);
+    telemetry::Profiler prof(w.monitor, w.meter);
+    telemetry::UniformGridSampler grid;
+    auto obs = prof.sample(app, w.space, grid, 6, w.rng);
+
+    estimators::LeoEstimator leo;
+    estimators::OnlineEstimator online(2);
+    estimators::OfflineEstimator offline;
+
+    const double acc_leo = stats::accuracy(
+        leo.estimateMetric(w.space, prior, obs.indices,
+                           obs.performance)
+            .values,
+        truth);
+    const double acc_on = stats::accuracy(
+        online
+            .estimateMetric(w.space, prior, obs.indices,
+                            obs.performance)
+            .values,
+        truth);
+    const double acc_off = stats::accuracy(
+        offline
+            .estimateMetric(w.space, prior, obs.indices,
+                            obs.performance)
+            .values,
+        truth);
+
+    EXPECT_GT(acc_leo, 0.85);
+    EXPECT_GT(acc_leo, acc_on);
+    EXPECT_GT(acc_leo, acc_off);
+
+    // LEO finds the peak near 8 cores.
+    auto est = leo.estimateMetric(w.space, prior, obs.indices,
+                                  obs.performance);
+    EXPECT_NEAR(static_cast<double>(est.values.argmax() + 1), 8.0,
+                2.0);
+}
+
+TEST(Leo, ConvergesInFewIterations)
+{
+    // Section 5.5: "the algorithm converges quickly ... generally
+    // requiring 3-4 iterations".
+    CoreOnlyWorld w;
+    auto prior = w.priorPerf("x264");
+    workloads::ApplicationModel app(
+        workloads::profileByName("x264"), w.machine);
+    telemetry::Profiler prof(w.monitor, w.meter);
+    telemetry::RandomSampler pol;
+    auto obs = prof.sample(app, w.space, pol, 8, w.rng);
+
+    estimators::LeoOptions opt;
+    opt.maxIterations = 10;
+    estimators::LeoEstimator leo(opt);
+    auto fit = leo.fitMetric(prior, obs.indices, obs.performance);
+    EXPECT_LE(fit.iterations, 6u);
+}
+
+TEST(Leo, InterpolatesObservationsClosely)
+{
+    CoreOnlyWorld w;
+    auto prior = w.priorPerf("swish");
+    workloads::ApplicationModel app(
+        workloads::profileByName("swish"), w.machine);
+    telemetry::Profiler prof(w.monitor, w.meter);
+    telemetry::RandomSampler pol;
+    auto obs = prof.sample(app, w.space, pol, 10, w.rng);
+
+    estimators::LeoEstimator leo;
+    auto est = leo.estimateMetric(w.space, prior, obs.indices,
+                                  obs.performance);
+    for (std::size_t k = 0; k < obs.indices.size(); ++k) {
+        EXPECT_NEAR(est.values[obs.indices[k]], obs.performance[k],
+                    0.1 * obs.performance[k]);
+    }
+}
+
+TEST(Leo, ZeroObservationsEqualsOfflineShape)
+{
+    // Figure 12: "with 0 samples, LEO behaves as the offline method".
+    CoreOnlyWorld w;
+    auto prior = w.priorPerf("kmeans");
+    estimators::LeoEstimator leo;
+    auto fit = leo.fitMetric(prior, {}, Vector{});
+    Vector offline_shape =
+        estimators::OfflineEstimator::meanShape(prior);
+    // Same shape up to the gentle EM smoothing: high correlation.
+    EXPECT_GT(stats::pearsonCorrelation(fit.prediction,
+                                        offline_shape),
+              0.99);
+}
+
+TEST(Leo, LearnedSigmaCapturesConfigCorrelation)
+{
+    // Figure 4: Sigma captures correlation between configurations.
+    // Adjacent core counts behave similarly across applications, so
+    // their correlation must exceed that of distant core counts.
+    CoreOnlyWorld w;
+    auto prior = w.priorPerf("kmeans");
+    workloads::ApplicationModel app(
+        workloads::profileByName("kmeans"), w.machine);
+    telemetry::Profiler prof(w.monitor, w.meter);
+    telemetry::RandomSampler pol;
+    auto obs = prof.sample(app, w.space, pol, 6, w.rng);
+
+    estimators::LeoEstimator leo;
+    auto fit = leo.fitMetric(prior, obs.indices, obs.performance);
+    const Matrix &s = fit.sigma;
+    auto corr = [&](std::size_t i, std::size_t j) {
+        return s(i, j) / std::sqrt(s(i, i) * s(j, j));
+    };
+    EXPECT_GT(corr(10, 11), corr(2, 30));
+    EXPECT_TRUE(fit.sigma.isSymmetric(1e-8));
+}
+
+TEST(Leo, MoreSamplesNeverMuchWorse)
+{
+    // Sensitivity property (Fig. 12): accuracy is non-decreasing in
+    // sample budget, modulo small noise.
+    CoreOnlyWorld w;
+    auto prior = w.priorPerf("kmeans");
+    auto truth = w.truthPerf("kmeans");
+    workloads::ApplicationModel app(
+        workloads::profileByName("kmeans"), w.machine);
+    telemetry::Profiler prof(w.monitor, w.meter);
+    telemetry::RandomSampler pol;
+    estimators::LeoEstimator leo;
+
+    double prev = 0.0;
+    for (std::size_t budget : {4u, 12u, 24u}) {
+        double acc = 0.0;
+        for (int t = 0; t < 3; ++t) {
+            auto obs = prof.sample(app, w.space, pol, budget, w.rng);
+            acc += stats::accuracy(
+                leo.estimateMetric(w.space, prior, obs.indices,
+                                   obs.performance)
+                    .values,
+                truth);
+        }
+        acc /= 3.0;
+        EXPECT_GT(acc, prev - 0.08)
+            << "accuracy collapsed at budget " << budget;
+        prev = acc;
+    }
+}
+
+TEST(Leo, NoPriorFallsBackUnreliable)
+{
+    CoreOnlyWorld w;
+    estimators::LeoEstimator leo;
+    auto est =
+        leo.estimateMetric(w.space, {}, {0}, Vector{5.0});
+    EXPECT_FALSE(est.reliable);
+    EXPECT_DOUBLE_EQ(est.values[10], 5.0);
+}
+
+TEST(Leo, RejectsBadInputs)
+{
+    estimators::LeoEstimator leo;
+    EXPECT_THROW(leo.fitMetric({}, {}, Vector{}), FatalError);
+    std::vector<Vector> ragged{Vector(4, 1.0), Vector(5, 1.0)};
+    EXPECT_THROW(leo.fitMetric(ragged, {}, Vector{}), FatalError);
+    std::vector<Vector> ok{Vector(4, 1.0)};
+    EXPECT_THROW(leo.fitMetric(ok, {9}, Vector{1.0}), FatalError);
+    EXPECT_THROW(leo.fitMetric(ok, {0, 1}, Vector{1.0}), FatalError);
+}
+
+TEST(Leo, OptionsValidated)
+{
+    estimators::LeoOptions bad;
+    bad.maxIterations = 0;
+    EXPECT_THROW(estimators::LeoEstimator{bad}, FatalError);
+    bad = estimators::LeoOptions{};
+    bad.initSigma2 = 0.0;
+    EXPECT_THROW(estimators::LeoEstimator{bad}, FatalError);
+    bad = estimators::LeoOptions{};
+    bad.hyperPi = -1.0;
+    EXPECT_THROW(estimators::LeoEstimator{bad}, FatalError);
+}
+
+// ---------------------------------------------- Estimator front door
+
+TEST(Estimator, EstimateRunsBothMetrics)
+{
+    CoreOnlyWorld w;
+    stats::Rng rng(31);
+    auto store = telemetry::ProfileStore::collect(
+        workloads::standardSuite(), w.machine, w.space, w.monitor,
+        w.meter, rng);
+    auto prior = store.without("kmeans");
+
+    workloads::ApplicationModel app(
+        workloads::profileByName("kmeans"), w.machine);
+    telemetry::Profiler prof(w.monitor, w.meter);
+    telemetry::RandomSampler pol;
+    auto obs = prof.sample(app, w.space, pol, 8, rng);
+
+    estimators::LeoEstimator leo;
+    estimators::EstimationInputs inputs{w.space, prior, obs};
+    auto est = leo.estimate(inputs);
+    EXPECT_EQ(est.performance.values.size(), w.space.size());
+    EXPECT_EQ(est.power.values.size(), w.space.size());
+    EXPECT_TRUE(est.performance.reliable);
+    EXPECT_TRUE(est.power.reliable);
+    // Power estimates stay in a physically sane band.
+    EXPECT_GT(est.power.values.min(), 50.0);
+    EXPECT_LT(est.power.values.max(), 500.0);
+}

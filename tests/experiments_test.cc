@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the experiment harnesses that regenerate the paper's
+ * figures, run at miniature scale so ctest stays fast.
+ */
+
+#include <gtest/gtest.h>
+
+#include "experiments/accuracy.hh"
+#include "experiments/energy.hh"
+#include "experiments/report.hh"
+#include "linalg/error.hh"
+#include "telemetry/profile_store.hh"
+#include "workloads/suite.hh"
+
+using namespace leo;
+
+namespace
+{
+
+std::vector<workloads::ApplicationProfile>
+smallAppSet()
+{
+    return {workloads::profileByName("kmeans"),
+            workloads::profileByName("x264"),
+            workloads::profileByName("blackscholes"),
+            workloads::profileByName("streamcluster"),
+            workloads::profileByName("swish"),
+            workloads::profileByName("lud"),
+            workloads::profileByName("bodytrack"),
+            workloads::profileByName("jacobi")};
+}
+
+} // namespace
+
+TEST(AccuracyExperiment, OrderingOnCoreOnlySpace)
+{
+    platform::Machine machine;
+    auto space = platform::ConfigSpace::coreOnly(machine);
+    experiments::AccuracyOptions opt;
+    opt.trials = 2;
+    opt.sampleBudget = 8;
+
+    auto rows = experiments::runAccuracyExperiment(
+        estimators::Metric::Performance, machine, space,
+        smallAppSet(), opt);
+    ASSERT_EQ(rows.size(), 8u);
+
+    const double leo = experiments::meanAccuracy(
+        rows, &experiments::AccuracyRow::leo);
+    const double off = experiments::meanAccuracy(
+        rows, &experiments::AccuracyRow::offline);
+    // The headline ordering of Figure 5: LEO above offline, high
+    // absolute accuracy.
+    EXPECT_GT(leo, 0.85);
+    EXPECT_GT(leo, off);
+    for (const auto &r : rows) {
+        EXPECT_GE(r.leo, 0.0);
+        EXPECT_LE(r.leo, 1.0);
+    }
+}
+
+TEST(AccuracyExperiment, PowerAccuracyHigh)
+{
+    platform::Machine machine;
+    auto space = platform::ConfigSpace::coreOnly(machine);
+    experiments::AccuracyOptions opt;
+    opt.trials = 2;
+    opt.sampleBudget = 8;
+    auto rows = experiments::runAccuracyExperiment(
+        estimators::Metric::Power, machine, space, smallAppSet(),
+        opt);
+    EXPECT_GT(experiments::meanAccuracy(
+                  rows, &experiments::AccuracyRow::leo),
+              0.95);
+}
+
+TEST(EnergyExperiment, LeoNearOptimalRaceWorst)
+{
+    platform::Machine machine;
+    auto space = platform::ConfigSpace::coreOnly(machine);
+    stats::Rng rng(3);
+    telemetry::HeartbeatMonitor mon;
+    telemetry::WattsUpMeter met;
+    auto store = telemetry::ProfileStore::collect(
+        workloads::standardSuite(), machine, space, mon, met, rng);
+
+    experiments::EnergyOptions opt;
+    opt.utilizationLevels = 10;
+    opt.sampleBudget = 8;
+
+    auto curve = experiments::runEnergyExperiment(
+        workloads::profileByName("kmeans"), machine, space,
+        store.without("kmeans"), opt);
+    ASSERT_EQ(curve.points.size(), 10u);
+
+    const double rel_leo =
+        curve.meanRelative(&experiments::EnergyPoint::leo);
+    const double rel_race =
+        curve.meanRelative(&experiments::EnergyPoint::raceToIdle);
+    // Optimal is a lower bound on everything.
+    EXPECT_GE(rel_leo, 0.999);
+    EXPECT_GE(rel_race, 0.999);
+    // Figure 11 shape: LEO near optimal, race-to-idle far above.
+    EXPECT_LT(rel_leo, 1.25);
+    EXPECT_GT(rel_race, rel_leo);
+
+    // Energy increases with utilization for the optimal planner.
+    for (std::size_t i = 0; i + 1 < curve.points.size(); ++i)
+        EXPECT_LE(curve.points[i].optimal,
+                  curve.points[i + 1].optimal * 1.001);
+}
+
+TEST(EnergyExperiment, PriorMustExcludeTarget)
+{
+    platform::Machine machine;
+    auto space = platform::ConfigSpace::coreOnly(machine);
+    stats::Rng rng(3);
+    telemetry::HeartbeatMonitor mon;
+    telemetry::WattsUpMeter met;
+    auto store = telemetry::ProfileStore::collect(
+        workloads::standardSuite(), machine, space, mon, met, rng);
+    experiments::EnergyOptions opt;
+    EXPECT_THROW(experiments::runEnergyExperiment(
+                     workloads::profileByName("kmeans"), machine,
+                     space, store, opt),
+                 FatalError);
+}
+
+// ---------------------------------------------------------------- Report
+
+TEST(Report, TextTableAligns)
+{
+    experiments::TextTable t({"name", "value"});
+    t.addRow({"kmeans", "0.97"});
+    t.addRow({"x", "1"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("kmeans"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+    EXPECT_THROW(t.addRow({"only-one-cell"}), FatalError);
+}
+
+TEST(Report, FmtAndEnv)
+{
+    EXPECT_EQ(experiments::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(experiments::fmt(2.0, 0), "2");
+    ::setenv("LEO_TEST_ENV_SIZE", "17", 1);
+    EXPECT_EQ(experiments::envSize("LEO_TEST_ENV_SIZE", 3), 17u);
+    EXPECT_EQ(experiments::envSize("LEO_TEST_ENV_MISSING", 3), 3u);
+    ::setenv("LEO_TEST_ENV_SIZE", "-4", 1);
+    EXPECT_EQ(experiments::envSize("LEO_TEST_ENV_SIZE", 3), 3u);
+}

@@ -1,0 +1,455 @@
+/**
+ * @file
+ * Unit tests for the dense linear-algebra substrate.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/cholesky.hh"
+#include "linalg/error.hh"
+#include "linalg/least_squares.hh"
+#include "linalg/matrix.hh"
+#include "linalg/poly_features.hh"
+#include "linalg/simplex.hh"
+#include "linalg/vector.hh"
+#include "stats/rng.hh"
+
+using namespace leo;
+using linalg::Matrix;
+using linalg::Vector;
+
+// ---------------------------------------------------------------- Vector
+
+TEST(Vector, ConstructAndFill)
+{
+    Vector v(4, 2.5);
+    EXPECT_EQ(v.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_DOUBLE_EQ(v[i], 2.5);
+    v.fill(-1.0);
+    EXPECT_DOUBLE_EQ(v.sum(), -4.0);
+}
+
+TEST(Vector, InitializerList)
+{
+    Vector v{1.0, 2.0, 3.0};
+    EXPECT_EQ(v.size(), 3u);
+    EXPECT_DOUBLE_EQ(v(1), 2.0);
+}
+
+TEST(Vector, BoundsChecking)
+{
+    Vector v(3);
+    EXPECT_THROW(v(3), FatalError);
+    const Vector &cv = v;
+    EXPECT_THROW(cv(7), FatalError);
+}
+
+TEST(Vector, Arithmetic)
+{
+    Vector a{1.0, 2.0, 3.0};
+    Vector b{4.0, 5.0, 6.0};
+    Vector c = a + b;
+    EXPECT_DOUBLE_EQ(c[0], 5.0);
+    EXPECT_DOUBLE_EQ(c[2], 9.0);
+    c -= a;
+    EXPECT_DOUBLE_EQ(c[1], 5.0);
+    Vector d = 2.0 * a;
+    EXPECT_DOUBLE_EQ(d[2], 6.0);
+    d /= 2.0;
+    EXPECT_DOUBLE_EQ(d[2], 3.0);
+    EXPECT_THROW(d /= 0.0, FatalError);
+}
+
+TEST(Vector, DimensionMismatchThrows)
+{
+    Vector a(3), b(4);
+    EXPECT_THROW(a += b, FatalError);
+    EXPECT_THROW(dot(a, b), FatalError);
+    EXPECT_THROW(a.cwiseProduct(b), FatalError);
+}
+
+TEST(Vector, Statistics)
+{
+    Vector v{3.0, -1.0, 4.0, 0.0};
+    EXPECT_DOUBLE_EQ(v.sum(), 6.0);
+    EXPECT_DOUBLE_EQ(v.mean(), 1.5);
+    EXPECT_DOUBLE_EQ(v.min(), -1.0);
+    EXPECT_DOUBLE_EQ(v.max(), 4.0);
+    EXPECT_EQ(v.argmax(), 2u);
+    EXPECT_EQ(v.argmin(), 1u);
+    EXPECT_DOUBLE_EQ(v.squaredNorm(), 9.0 + 1.0 + 16.0);
+    EXPECT_DOUBLE_EQ(v.norm(), std::sqrt(26.0));
+}
+
+TEST(Vector, DotAndGather)
+{
+    Vector a{1.0, 2.0, 3.0};
+    Vector b{-1.0, 0.5, 2.0};
+    EXPECT_DOUBLE_EQ(dot(a, b), -1.0 + 1.0 + 6.0);
+    Vector g = a.gather({2, 0});
+    ASSERT_EQ(g.size(), 2u);
+    EXPECT_DOUBLE_EQ(g[0], 3.0);
+    EXPECT_DOUBLE_EQ(g[1], 1.0);
+    EXPECT_THROW(a.gather({5}), FatalError);
+}
+
+TEST(Vector, AllFinite)
+{
+    Vector v{1.0, 2.0};
+    EXPECT_TRUE(v.allFinite());
+    v[1] = std::nan("");
+    EXPECT_FALSE(v.allFinite());
+}
+
+// ---------------------------------------------------------------- Matrix
+
+TEST(Matrix, IdentityAndDiag)
+{
+    Matrix i = Matrix::identity(3);
+    EXPECT_DOUBLE_EQ(i(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(i(0, 1), 0.0);
+    EXPECT_DOUBLE_EQ(i.trace(), 3.0);
+
+    Matrix d = Matrix::diag(Vector{2.0, 3.0});
+    EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(d(1, 1), 3.0);
+    EXPECT_DOUBLE_EQ(d(0, 1), 0.0);
+}
+
+TEST(Matrix, OuterProduct)
+{
+    Matrix o = Matrix::outer(Vector{1.0, 2.0}, Vector{3.0, 4.0, 5.0});
+    EXPECT_EQ(o.rows(), 2u);
+    EXPECT_EQ(o.cols(), 3u);
+    EXPECT_DOUBLE_EQ(o(1, 2), 10.0);
+}
+
+TEST(Matrix, MultiplyMatrixVector)
+{
+    Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+    Vector x{1.0, -1.0};
+    Vector y = a * x;
+    EXPECT_DOUBLE_EQ(y[0], -1.0);
+    EXPECT_DOUBLE_EQ(y[1], -1.0);
+}
+
+TEST(Matrix, MultiplyMatrixMatrix)
+{
+    Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+    Matrix b{{0.0, 1.0}, {1.0, 0.0}};
+    Matrix c = a * b;
+    EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 1.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 4.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 3.0);
+}
+
+TEST(Matrix, TransposeTraceFrobenius)
+{
+    Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+    Matrix t = a.transpose();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+    EXPECT_NEAR(a.frobeniusNorm(), std::sqrt(91.0), 1e-12);
+    EXPECT_THROW(a.trace(), FatalError);
+}
+
+TEST(Matrix, SymmetryHelpers)
+{
+    Matrix a{{1.0, 2.0}, {2.0000000001, 3.0}};
+    EXPECT_TRUE(a.isSymmetric(1e-6));
+    EXPECT_FALSE(a.isSymmetric(1e-12));
+    a.symmetrize();
+    EXPECT_DOUBLE_EQ(a(0, 1), a(1, 0));
+}
+
+TEST(Matrix, GatherSubmatrix)
+{
+    Matrix a{{1., 2., 3.}, {4., 5., 6.}, {7., 8., 9.}};
+    Matrix s = a.gather({0, 2});
+    EXPECT_EQ(s.rows(), 2u);
+    EXPECT_DOUBLE_EQ(s(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(s(0, 1), 3.0);
+    EXPECT_DOUBLE_EQ(s(1, 1), 9.0);
+    Matrix r = a.gather({1}, {0, 1, 2});
+    EXPECT_EQ(r.rows(), 1u);
+    EXPECT_DOUBLE_EQ(r(0, 2), 6.0);
+}
+
+TEST(Matrix, RowColAccess)
+{
+    Matrix a{{1., 2.}, {3., 4.}};
+    Vector r = a.row(1);
+    EXPECT_DOUBLE_EQ(r[0], 3.0);
+    Vector c = a.col(0);
+    EXPECT_DOUBLE_EQ(c[1], 3.0);
+    a.setRow(0, Vector{9.0, 8.0});
+    EXPECT_DOUBLE_EQ(a(0, 1), 8.0);
+    a.setCol(1, Vector{7.0, 6.0});
+    EXPECT_DOUBLE_EQ(a(1, 1), 6.0);
+}
+
+// -------------------------------------------------------------- Cholesky
+
+TEST(Cholesky, FactorizeAndSolve)
+{
+    Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+    linalg::Cholesky chol(a);
+    EXPECT_DOUBLE_EQ(chol.jitterUsed(), 0.0);
+
+    Vector b{2.0, 1.0};
+    Vector x = chol.solve(b);
+    // Verify A x = b.
+    Vector ax = a * x;
+    EXPECT_NEAR(ax[0], b[0], 1e-12);
+    EXPECT_NEAR(ax[1], b[1], 1e-12);
+}
+
+TEST(Cholesky, InverseMatchesSolve)
+{
+    stats::Rng rng(7);
+    const std::size_t n = 12;
+    // Random SPD: A = B B' + n I.
+    Matrix b(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            b(i, j) = rng.gaussian();
+    Matrix a = b * b.transpose();
+    a.addToDiagonal(static_cast<double>(n));
+
+    linalg::Cholesky chol(a);
+    Matrix inv = chol.inverse();
+    Matrix prod = a * inv;
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-9);
+}
+
+TEST(Cholesky, MatrixSolve)
+{
+    Matrix a{{5.0, 1.0}, {1.0, 3.0}};
+    Matrix rhs{{1.0, 0.0}, {0.0, 1.0}};
+    linalg::Cholesky chol(a);
+    Matrix x = chol.solve(rhs);
+    Matrix prod = a * x;
+    EXPECT_NEAR(prod(0, 0), 1.0, 1e-12);
+    EXPECT_NEAR(prod(1, 0), 0.0, 1e-12);
+}
+
+TEST(Cholesky, LogDet)
+{
+    Matrix a{{2.0, 0.0}, {0.0, 8.0}};
+    linalg::Cholesky chol(a);
+    EXPECT_NEAR(chol.logDet(), std::log(16.0), 1e-12);
+}
+
+TEST(Cholesky, RejectsNonPositiveDefinite)
+{
+    Matrix a{{1.0, 2.0}, {2.0, 1.0}}; // eigenvalues 3, -1
+    EXPECT_THROW(linalg::Cholesky(a, 1e-6), FatalError);
+}
+
+TEST(Cholesky, JitterRecoversBorderline)
+{
+    // Singular PSD matrix; jitter should rescue it.
+    Matrix a{{1.0, 1.0}, {1.0, 1.0}};
+    linalg::Cholesky chol(a, 1e-4);
+    EXPECT_GT(chol.jitterUsed(), 0.0);
+}
+
+TEST(Cholesky, RejectsAsymmetric)
+{
+    Matrix a{{1.0, 0.5}, {0.0, 1.0}};
+    EXPECT_THROW(linalg::Cholesky{a}, FatalError);
+}
+
+// --------------------------------------------------------- Least squares
+
+TEST(LeastSquares, ExactFit)
+{
+    // y = 2 + 3x on 4 points, quadratic-free.
+    Matrix x(4, 2);
+    Vector y(4);
+    for (std::size_t i = 0; i < 4; ++i) {
+        const double xv = static_cast<double>(i);
+        x(i, 0) = 1.0;
+        x(i, 1) = xv;
+        y[i] = 2.0 + 3.0 * xv;
+    }
+    auto fit = linalg::leastSquares(x, y);
+    EXPECT_TRUE(fit.fullRank);
+    EXPECT_EQ(fit.rank, 2u);
+    EXPECT_NEAR(fit.coefficients[0], 2.0, 1e-10);
+    EXPECT_NEAR(fit.coefficients[1], 3.0, 1e-10);
+    EXPECT_NEAR(fit.residualSumSquares, 0.0, 1e-18);
+}
+
+TEST(LeastSquares, OverdeterminedNoisy)
+{
+    stats::Rng rng(3);
+    const std::size_t m = 200;
+    Matrix x(m, 3);
+    Vector y(m);
+    for (std::size_t i = 0; i < m; ++i) {
+        const double a = rng.uniform(-1, 1);
+        const double b = rng.uniform(-1, 1);
+        x(i, 0) = 1.0;
+        x(i, 1) = a;
+        x(i, 2) = b;
+        y[i] = 0.5 - 2.0 * a + 4.0 * b + rng.gaussian(0.0, 0.01);
+    }
+    auto fit = linalg::leastSquares(x, y);
+    EXPECT_TRUE(fit.fullRank);
+    EXPECT_NEAR(fit.coefficients[0], 0.5, 0.01);
+    EXPECT_NEAR(fit.coefficients[1], -2.0, 0.01);
+    EXPECT_NEAR(fit.coefficients[2], 4.0, 0.01);
+}
+
+TEST(LeastSquares, DetectsRankDeficiency)
+{
+    // Fewer rows than columns: necessarily rank deficient.
+    Matrix x(2, 3);
+    x(0, 0) = 1.0;
+    x(0, 1) = 2.0;
+    x(0, 2) = 3.0;
+    x(1, 0) = 4.0;
+    x(1, 1) = 5.0;
+    x(1, 2) = 6.0;
+    Vector y{1.0, 2.0};
+    auto fit = linalg::leastSquares(x, y);
+    EXPECT_FALSE(fit.fullRank);
+    EXPECT_LE(fit.rank, 2u);
+}
+
+TEST(LeastSquares, DuplicateColumnRankDeficient)
+{
+    Matrix x(5, 2);
+    Vector y(5);
+    for (std::size_t i = 0; i < 5; ++i) {
+        x(i, 0) = static_cast<double>(i);
+        x(i, 1) = static_cast<double>(i); // duplicate
+        y[i] = static_cast<double>(i);
+    }
+    auto fit = linalg::leastSquares(x, y);
+    EXPECT_FALSE(fit.fullRank);
+}
+
+TEST(Ridge, ShrinksTowardZero)
+{
+    Matrix x(3, 2);
+    x(0, 0) = 1.0;
+    x(1, 1) = 1.0;
+    x(2, 0) = 1.0;
+    x(2, 1) = 1.0;
+    Vector y{1.0, 1.0, 2.0};
+    Vector w_small = linalg::ridgeRegression(x, y, 1e-8);
+    Vector w_big = linalg::ridgeRegression(x, y, 100.0);
+    EXPECT_GT(w_small.norm(), w_big.norm());
+    EXPECT_THROW(linalg::ridgeRegression(x, y, 0.0), FatalError);
+}
+
+// ------------------------------------------------------ Poly features
+
+TEST(PolyFeatures, CountMatchesBinomial)
+{
+    // C(d + k, k) features for d inputs, degree k.
+    linalg::PolynomialFeatures f42(4, 2);
+    EXPECT_EQ(f42.numFeatures(), 15u); // the Fig. 12 threshold
+    linalg::PolynomialFeatures f23(2, 3);
+    EXPECT_EQ(f23.numFeatures(), 10u);
+    linalg::PolynomialFeatures f11(1, 1);
+    EXPECT_EQ(f11.numFeatures(), 2u);
+}
+
+TEST(PolyFeatures, ExpandValues)
+{
+    linalg::PolynomialFeatures f(2, 2);
+    Vector x{2.0, 3.0};
+    Vector e = f.expand(x);
+    ASSERT_EQ(e.size(), 6u);
+    // Sorted by total degree: 1, x, y, x^2, xy, y^2.
+    EXPECT_DOUBLE_EQ(e[0], 1.0);
+    double sum = 0.0;
+    for (double v : e)
+        sum += v;
+    // 1 + 2 + 3 + 4 + 6 + 9 = 25.
+    EXPECT_DOUBLE_EQ(sum, 25.0);
+}
+
+TEST(PolyFeatures, DesignMatrixShape)
+{
+    linalg::PolynomialFeatures f(3, 2);
+    std::vector<Vector> rows{Vector{1., 2., 3.}, Vector{0., 0., 0.}};
+    Matrix d = f.designMatrix(rows);
+    EXPECT_EQ(d.rows(), 2u);
+    EXPECT_EQ(d.cols(), f.numFeatures());
+    // The all-zero point has only the constant feature.
+    double row1 = 0.0;
+    for (std::size_t c = 0; c < d.cols(); ++c)
+        row1 += d(1, c);
+    EXPECT_DOUBLE_EQ(row1, 1.0);
+}
+
+// ------------------------------------------------------------- Simplex
+
+TEST(Simplex, SimpleMinimization)
+{
+    // min x + y s.t. x + 2y >= 4 (as -x - 2y <= -4), x,y >= 0.
+    linalg::LinearProgram lp(2);
+    lp.setObjective(Vector{1.0, 1.0});
+    lp.addInequality(Vector{-1.0, -2.0}, -4.0);
+    auto sol = lp.solve();
+    ASSERT_EQ(sol.status, linalg::LpStatus::Optimal);
+    EXPECT_NEAR(sol.objective, 2.0, 1e-8); // x=0, y=2
+}
+
+TEST(Simplex, EqualityConstraint)
+{
+    // min 2x + y s.t. x + y = 3, x,y >= 0 -> x=0, y=3, obj 3.
+    linalg::LinearProgram lp(2);
+    lp.setObjective(Vector{2.0, 1.0});
+    lp.addEquality(Vector{1.0, 1.0}, 3.0);
+    auto sol = lp.solve();
+    ASSERT_EQ(sol.status, linalg::LpStatus::Optimal);
+    EXPECT_NEAR(sol.objective, 3.0, 1e-8);
+    EXPECT_NEAR(sol.x[1], 3.0, 1e-8);
+}
+
+TEST(Simplex, DetectsInfeasible)
+{
+    // x = 5 and x <= 1 cannot hold.
+    linalg::LinearProgram lp(1);
+    lp.setObjective(Vector{1.0});
+    lp.addEquality(Vector{1.0}, 5.0);
+    lp.addInequality(Vector{1.0}, 1.0);
+    auto sol = lp.solve();
+    EXPECT_EQ(sol.status, linalg::LpStatus::Infeasible);
+}
+
+TEST(Simplex, DetectsUnbounded)
+{
+    // min -x s.t. x >= 0 only.
+    linalg::LinearProgram lp(1);
+    lp.setObjective(Vector{-1.0});
+    lp.addInequality(Vector{-1.0}, 0.0); // -x <= 0, vacuous
+    auto sol = lp.solve();
+    EXPECT_EQ(sol.status, linalg::LpStatus::Unbounded);
+}
+
+TEST(Simplex, EnergyLpShape)
+{
+    // A miniature Equation (1): three configs, rates 1/2/4,
+    // powers 1/3/10; W = 2, T = 1. Pure config 1 (t = 1) meets the
+    // work exactly with energy 3; every feasible mix costs more.
+    linalg::LinearProgram lp(3);
+    lp.setObjective(Vector{1.0, 3.0, 10.0});
+    lp.addEquality(Vector{1.0, 2.0, 4.0}, 2.0);
+    lp.addInequality(Vector{1.0, 1.0, 1.0}, 1.0);
+    auto sol = lp.solve();
+    ASSERT_EQ(sol.status, linalg::LpStatus::Optimal);
+    EXPECT_NEAR(sol.objective, 3.0, 1e-8);
+    EXPECT_NEAR(sol.x[1], 1.0, 1e-8);
+}

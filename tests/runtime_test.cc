@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Unit tests for the runtime controller and the phased closed loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include "estimators/leo.hh"
+#include "linalg/error.hh"
+#include "runtime/controller.hh"
+#include "runtime/phased_run.hh"
+#include "telemetry/profile_store.hh"
+#include "workloads/ground_truth.hh"
+#include "workloads/suite.hh"
+
+using namespace leo;
+using linalg::Vector;
+using platform::ConfigSpace;
+using platform::Machine;
+using runtime::ControllerOptions;
+using runtime::EnergyController;
+
+namespace
+{
+
+struct World
+{
+    Machine machine;
+    ConfigSpace space = ConfigSpace::coreOnly(machine);
+    telemetry::HeartbeatMonitor monitor{0.01};
+    telemetry::WattsUpMeter meter{0.005, 0.1};
+    stats::Rng rng{7};
+    telemetry::ProfileStore store = telemetry::ProfileStore::collect(
+        workloads::standardSuite(), machine, space, monitor, meter,
+        rng);
+
+    ControllerOptions
+    options(double rate, std::size_t budget = 6)
+    {
+        ControllerOptions o;
+        o.targetRate = rate;
+        o.sampleBudget = budget;
+        o.idlePower = machine.spec().idleSystemPowerW;
+        return o;
+    }
+};
+
+} // namespace
+
+TEST(Controller, SamplesThenControls)
+{
+    World w;
+    estimators::LeoEstimator leo;
+    auto prior = w.store.without("x264");
+    EnergyController ctl(w.space, &leo, prior, w.options(40.0, 5));
+    EXPECT_EQ(ctl.state(), EnergyController::State::Sampling);
+
+    workloads::ApplicationModel app(
+        workloads::profileByName("x264"), w.machine);
+    for (int i = 0; i < 5; ++i) {
+        const std::size_t cfg = ctl.nextConfig(w.rng);
+        const auto &ra = w.space.assignment(cfg);
+        ctl.recordMeasurement(
+            {cfg, w.monitor.measureRate(app, ra, w.rng),
+             w.meter.read(app, ra, w.rng)});
+    }
+    EXPECT_EQ(ctl.state(), EnergyController::State::Controlling);
+    EXPECT_TRUE(ctl.hasEstimates());
+    EXPECT_EQ(ctl.performanceEstimate().size(), w.space.size());
+}
+
+TEST(Controller, OracleStartsControlling)
+{
+    World w;
+    EnergyController ctl(w.space, nullptr, w.store,
+                         w.options(30.0));
+    EXPECT_EQ(ctl.state(), EnergyController::State::Controlling);
+
+    workloads::ApplicationModel app(
+        workloads::profileByName("x264"), w.machine);
+    auto gt = workloads::computeGroundTruth(app, w.space);
+    ctl.setEstimates(gt.performance, gt.power);
+    const std::size_t cfg = ctl.nextConfig(w.rng);
+    EXPECT_LT(cfg, w.space.size());
+}
+
+TEST(Controller, DriftTriggersReestimation)
+{
+    World w;
+    estimators::LeoEstimator leo;
+    auto prior = w.store.without("fluidanimate");
+    ControllerOptions opt = w.options(30.0, 5);
+    opt.driftWindow = 2;
+    opt.driftThreshold = 0.2;
+    EnergyController ctl(w.space, &leo, prior, opt);
+
+    workloads::ApplicationModel app(
+        workloads::profileByName("fluidanimate"), w.machine);
+    // Sampling phase.
+    while (ctl.state() == EnergyController::State::Sampling) {
+        const std::size_t cfg = ctl.nextConfig(w.rng);
+        const auto &ra = w.space.assignment(cfg);
+        ctl.recordMeasurement(
+            {cfg, w.monitor.measureRate(app, ra, w.rng),
+             w.meter.read(app, ra, w.rng)});
+    }
+    EXPECT_EQ(ctl.reestimations(), 0u);
+
+    // Establish a steady measurement history at the operating point,
+    // then feed a step change (the application entered a new phase).
+    // Drift is judged against the configuration's own history, so
+    // the steady stretch must not trigger, and the step must.
+    for (int i = 0; i < 6; ++i) {
+        const std::size_t cfg = ctl.nextConfig(w.rng);
+        const auto &ra = w.space.assignment(cfg);
+        ctl.recordMeasurement({cfg, app.heartbeatRate(ra),
+                               app.powerWatts(ra)});
+    }
+    EXPECT_EQ(ctl.state(), EnergyController::State::Controlling);
+    EXPECT_EQ(ctl.reestimations(), 0u);
+
+    for (int i = 0; i < 5 &&
+                    ctl.state() == EnergyController::State::Controlling;
+         ++i) {
+        const std::size_t cfg = ctl.nextConfig(w.rng);
+        const auto &ra = w.space.assignment(cfg);
+        // The new phase runs 1.6x faster everywhere.
+        ctl.recordMeasurement({cfg, 1.6 * app.heartbeatRate(ra),
+                               app.powerWatts(ra)});
+    }
+    EXPECT_EQ(ctl.state(), EnergyController::State::Sampling);
+    EXPECT_EQ(ctl.reestimations(), 1u);
+}
+
+TEST(Controller, GradientAscentMeetsDemand)
+{
+    // Feed an oracle controller estimates that UNDERSTATE the needed
+    // configuration; the guard must climb the hull until the demand
+    // is met.
+    World w;
+    workloads::ApplicationModel app(
+        workloads::profileByName("swaptions"), w.machine);
+    auto gt = workloads::computeGroundTruth(app, w.space);
+
+    // Demand achievable only near the top of the hull.
+    const double demand = 0.8 * gt.performance.max();
+    EnergyController ctl(w.space, nullptr, w.store,
+                         w.options(demand));
+    // Corrupt estimates: claim every config is 3x faster than truth,
+    // tempting the controller toward slow configs.
+    ctl.setEstimates(gt.performance * 3.0, gt.power);
+
+    double last_rate = 0.0;
+    for (int i = 0; i < 60; ++i) {
+        const std::size_t cfg = ctl.nextConfig(w.rng);
+        const auto &ra = w.space.assignment(cfg);
+        const double rate = app.heartbeatRate(ra);
+        ctl.recordMeasurement({cfg, rate, app.powerWatts(ra)});
+        last_rate = rate;
+    }
+    EXPECT_GE(last_rate, demand * 0.9);
+}
+
+TEST(Controller, RejectsBadOptions)
+{
+    World w;
+    ControllerOptions bad = w.options(0.0);
+    estimators::LeoEstimator leo;
+    EXPECT_THROW(EnergyController(w.space, &leo, w.store, bad),
+                 FatalError);
+}
+
+// ------------------------------------------------------------ PhasedRun
+
+TEST(PhasedRun, OracleMeetsDemandInBothPhases)
+{
+    World w;
+    auto app = workloads::PhasedApplication::fluidanimateTwoPhase(30);
+    // Demand achievable in both phases: ~60% of phase-1 peak.
+    workloads::ApplicationModel heavy(app.phases()[0].profile,
+                                      w.machine);
+    auto gt = workloads::computeGroundTruth(heavy, w.space);
+    const double demand = 0.6 * gt.performance.max();
+
+    auto result = runtime::runPhased(app, w.machine, w.space, nullptr,
+                                     w.store, w.options(demand),
+                                     w.rng);
+    EXPECT_EQ(result.trace.size(), 60u);
+    EXPECT_EQ(result.phaseEnergy.size(), 2u);
+    EXPECT_GT(result.deadlineHitRate, 0.9);
+    // Phase 2 needs 2/3 the resources: oracle spends less energy.
+    EXPECT_LT(result.phaseEnergy[1], result.phaseEnergy[0]);
+}
+
+TEST(PhasedRun, LeoAdaptsToPhaseChange)
+{
+    World w;
+    auto app = workloads::PhasedApplication::fluidanimateTwoPhase(40);
+    workloads::ApplicationModel heavy(app.phases()[0].profile,
+                                      w.machine);
+    auto gt = workloads::computeGroundTruth(heavy, w.space);
+    const double demand = 0.6 * gt.performance.max();
+
+    estimators::LeoEstimator leo;
+    auto prior = w.store.without("fluidanimate");
+    ControllerOptions opt = w.options(demand, 6);
+    opt.driftWindow = 3;
+    auto result = runtime::runPhased(app, w.machine, w.space, &leo,
+                                     prior, opt, w.rng);
+    // The phase change must have been noticed.
+    EXPECT_GE(result.reestimations, 1u);
+    // And the controller still hits most frames.
+    EXPECT_GT(result.deadlineHitRate, 0.6);
+}
+
+TEST(PhasedRun, LeoNearOracleEnergy)
+{
+    // The Table 1 property, loosened: LEO's total energy lands
+    // within 35% of the oracle on the phased workload.
+    World w;
+    auto app = workloads::PhasedApplication::fluidanimateTwoPhase(40);
+    workloads::ApplicationModel heavy(app.phases()[0].profile,
+                                      w.machine);
+    auto gt = workloads::computeGroundTruth(heavy, w.space);
+    const double demand = 0.55 * gt.performance.max();
+
+    stats::Rng rng_a(11), rng_b(11);
+    auto oracle = runtime::runPhased(app, w.machine, w.space, nullptr,
+                                     w.store, w.options(demand),
+                                     rng_a);
+    estimators::LeoEstimator leo;
+    auto prior = w.store.without("fluidanimate");
+    auto mine = runtime::runPhased(app, w.machine, w.space, &leo,
+                                   prior, w.options(demand, 6),
+                                   rng_b);
+    EXPECT_GT(oracle.totalEnergy, 0.0);
+    EXPECT_LT(mine.totalEnergy, oracle.totalEnergy * 1.35);
+}

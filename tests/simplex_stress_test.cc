@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Stress and edge-case tests for the simplex LP solver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "linalg/error.hh"
+#include "linalg/simplex.hh"
+#include "stats/rng.hh"
+
+using namespace leo;
+using linalg::LinearProgram;
+using linalg::LpStatus;
+using linalg::Vector;
+
+TEST(SimplexStress, DegenerateVertexNoCycling)
+{
+    // Classic degeneracy: multiple constraints meet at the optimum.
+    // Bland's rule must terminate.
+    LinearProgram lp(2);
+    lp.setObjective(Vector{-1.0, -1.0});
+    lp.addInequality(Vector{1.0, 0.0}, 1.0);
+    lp.addInequality(Vector{0.0, 1.0}, 1.0);
+    lp.addInequality(Vector{1.0, 1.0}, 2.0); // redundant at (1,1)
+    lp.addInequality(Vector{2.0, 1.0}, 3.0); // also tight at (1,1)
+    auto sol = lp.solve();
+    ASSERT_EQ(sol.status, LpStatus::Optimal);
+    EXPECT_NEAR(sol.objective, -2.0, 1e-8);
+}
+
+TEST(SimplexStress, RedundantEqualities)
+{
+    // The same equality twice: phase 1 leaves an artificial basic at
+    // zero; phase 2 must still solve.
+    LinearProgram lp(2);
+    lp.setObjective(Vector{1.0, 2.0});
+    lp.addEquality(Vector{1.0, 1.0}, 4.0);
+    lp.addEquality(Vector{2.0, 2.0}, 8.0); // same plane
+    auto sol = lp.solve();
+    ASSERT_EQ(sol.status, LpStatus::Optimal);
+    EXPECT_NEAR(sol.objective, 4.0, 1e-8); // x = 4, y = 0
+}
+
+TEST(SimplexStress, NegativeRhsNormalized)
+{
+    // -x <= -3 means x >= 3.
+    LinearProgram lp(1);
+    lp.setObjective(Vector{1.0});
+    lp.addInequality(Vector{-1.0}, -3.0);
+    auto sol = lp.solve();
+    ASSERT_EQ(sol.status, LpStatus::Optimal);
+    EXPECT_NEAR(sol.x[0], 3.0, 1e-8);
+}
+
+TEST(SimplexStress, RandomFeasibleInstancesSatisfyConstraints)
+{
+    stats::Rng rng(101);
+    for (int trial = 0; trial < 30; ++trial) {
+        const std::size_t n = 3 + static_cast<std::size_t>(
+                                      rng.uniformInt(0, 4));
+        LinearProgram lp(n);
+        Vector c(n);
+        for (std::size_t i = 0; i < n; ++i)
+            c[i] = rng.uniform(0.5, 5.0); // positive: bounded below
+        lp.setObjective(c);
+
+        // A random feasible point defines consistent constraints.
+        Vector x0(n);
+        for (std::size_t i = 0; i < n; ++i)
+            x0[i] = rng.uniform(0.0, 3.0);
+
+        std::vector<Vector> eq_rows;
+        std::vector<double> eq_rhs;
+        for (int k = 0; k < 2; ++k) {
+            Vector a(n);
+            for (std::size_t i = 0; i < n; ++i)
+                a[i] = rng.uniform(-1.0, 2.0);
+            eq_rows.push_back(a);
+            eq_rhs.push_back(dot(a, x0));
+            lp.addEquality(a, dot(a, x0));
+        }
+        Vector ub(n);
+        for (std::size_t i = 0; i < n; ++i)
+            ub[i] = rng.uniform(0.0, 1.0);
+        lp.addInequality(ub, dot(ub, x0) + 1.0);
+
+        auto sol = lp.solve();
+        ASSERT_EQ(sol.status, LpStatus::Optimal) << "trial " << trial;
+        // Constraints hold at the reported optimum.
+        for (std::size_t k = 0; k < eq_rows.size(); ++k)
+            EXPECT_NEAR(dot(eq_rows[k], sol.x), eq_rhs[k], 1e-6);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_GE(sol.x[i], -1e-9);
+        // And the optimum is no worse than the feasible point.
+        EXPECT_LE(sol.objective, dot(c, x0) + 1e-6);
+    }
+}
+
+TEST(SimplexStress, RejectsMalformedPrograms)
+{
+    EXPECT_THROW(LinearProgram{0}, FatalError);
+    LinearProgram lp(2);
+    EXPECT_THROW(lp.setObjective(Vector{1.0}), FatalError);
+    EXPECT_THROW(lp.addEquality(Vector{1.0}, 0.0), FatalError);
+    lp.setObjective(Vector{1.0, 1.0});
+    EXPECT_THROW(lp.solve(), FatalError); // no constraints
+}
