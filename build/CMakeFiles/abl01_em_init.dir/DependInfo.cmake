@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl01_em_init.cc" "CMakeFiles/abl01_em_init.dir/bench/abl01_em_init.cc.o" "gcc" "CMakeFiles/abl01_em_init.dir/bench/abl01_em_init.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/leo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/experiments/CMakeFiles/leo_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/leo_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimators/CMakeFiles/leo_estimators.dir/DependInfo.cmake"
+  "/root/repo/build/src/optimizer/CMakeFiles/leo_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/leo_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/leo_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/leo_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/leo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/leo_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl01_em_init.dir/bench/abl01_em_init.cc.o"
+  "CMakeFiles/abl01_em_init.dir/bench/abl01_em_init.cc.o.d"
+  "bench/abl01_em_init"
+  "bench/abl01_em_init.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl01_em_init.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

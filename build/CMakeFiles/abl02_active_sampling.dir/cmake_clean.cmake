@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl02_active_sampling.dir/bench/abl02_active_sampling.cc.o"
+  "CMakeFiles/abl02_active_sampling.dir/bench/abl02_active_sampling.cc.o.d"
+  "bench/abl02_active_sampling"
+  "bench/abl02_active_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl02_active_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

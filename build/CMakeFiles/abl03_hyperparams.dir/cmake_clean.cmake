@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl03_hyperparams.dir/bench/abl03_hyperparams.cc.o"
+  "CMakeFiles/abl03_hyperparams.dir/bench/abl03_hyperparams.cc.o.d"
+  "bench/abl03_hyperparams"
+  "bench/abl03_hyperparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl03_hyperparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_covariance.dir/bench/fig04_covariance.cc.o"
+  "CMakeFiles/fig04_covariance.dir/bench/fig04_covariance.cc.o.d"
+  "bench/fig04_covariance"
+  "bench/fig04_covariance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_covariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

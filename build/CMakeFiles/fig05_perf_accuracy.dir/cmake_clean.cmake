@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_perf_accuracy.dir/bench/fig05_perf_accuracy.cc.o"
+  "CMakeFiles/fig05_perf_accuracy.dir/bench/fig05_perf_accuracy.cc.o.d"
+  "bench/fig05_perf_accuracy"
+  "bench/fig05_perf_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_perf_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_power_accuracy.dir/bench/fig06_power_accuracy.cc.o"
+  "CMakeFiles/fig06_power_accuracy.dir/bench/fig06_power_accuracy.cc.o.d"
+  "bench/fig06_power_accuracy"
+  "bench/fig06_power_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_power_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

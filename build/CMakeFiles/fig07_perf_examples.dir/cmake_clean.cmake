@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_perf_examples.dir/bench/fig07_perf_examples.cc.o"
+  "CMakeFiles/fig07_perf_examples.dir/bench/fig07_perf_examples.cc.o.d"
+  "bench/fig07_perf_examples"
+  "bench/fig07_perf_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_perf_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

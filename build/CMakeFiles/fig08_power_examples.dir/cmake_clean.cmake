@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_power_examples.dir/bench/fig08_power_examples.cc.o"
+  "CMakeFiles/fig08_power_examples.dir/bench/fig08_power_examples.cc.o.d"
+  "bench/fig08_power_examples"
+  "bench/fig08_power_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_power_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

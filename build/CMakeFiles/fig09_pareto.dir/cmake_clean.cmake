@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_pareto.dir/bench/fig09_pareto.cc.o"
+  "CMakeFiles/fig09_pareto.dir/bench/fig09_pareto.cc.o.d"
+  "bench/fig09_pareto"
+  "bench/fig09_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_energy_vs_utilization.dir/bench/fig10_energy_vs_utilization.cc.o"
+  "CMakeFiles/fig10_energy_vs_utilization.dir/bench/fig10_energy_vs_utilization.cc.o.d"
+  "bench/fig10_energy_vs_utilization"
+  "bench/fig10_energy_vs_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_energy_vs_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_energy_summary.dir/bench/fig11_energy_summary.cc.o"
+  "CMakeFiles/fig11_energy_summary.dir/bench/fig11_energy_summary.cc.o.d"
+  "bench/fig11_energy_summary"
+  "bench/fig11_energy_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_energy_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

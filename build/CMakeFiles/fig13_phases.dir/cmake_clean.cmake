@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_phases.dir/bench/fig13_phases.cc.o"
+  "CMakeFiles/fig13_phases.dir/bench/fig13_phases.cc.o.d"
+  "bench/fig13_phases"
+  "bench/fig13_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_leo.dir/bench/overhead_leo.cc.o"
+  "CMakeFiles/overhead_leo.dir/bench/overhead_leo.cc.o.d"
+  "bench/overhead_leo"
+  "bench/overhead_leo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_leo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_phase_energy.dir/bench/tab01_phase_energy.cc.o"
+  "CMakeFiles/tab01_phase_energy.dir/bench/tab01_phase_energy.cc.o.d"
+  "bench/tab01_phase_energy"
+  "bench/tab01_phase_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_phase_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

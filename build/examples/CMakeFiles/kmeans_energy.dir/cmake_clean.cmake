@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmeans_energy.dir/kmeans_energy.cpp.o"
+  "CMakeFiles/kmeans_energy.dir/kmeans_energy.cpp.o.d"
+  "kmeans_energy"
+  "kmeans_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmeans_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leo_core.dir/leo_system.cc.o"
+  "CMakeFiles/leo_core.dir/leo_system.cc.o.d"
+  "libleo_core.a"
+  "libleo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/estimators/active_sampling.cc" "src/estimators/CMakeFiles/leo_estimators.dir/active_sampling.cc.o" "gcc" "src/estimators/CMakeFiles/leo_estimators.dir/active_sampling.cc.o.d"
+  "/root/repo/src/estimators/estimator.cc" "src/estimators/CMakeFiles/leo_estimators.dir/estimator.cc.o" "gcc" "src/estimators/CMakeFiles/leo_estimators.dir/estimator.cc.o.d"
+  "/root/repo/src/estimators/leo.cc" "src/estimators/CMakeFiles/leo_estimators.dir/leo.cc.o" "gcc" "src/estimators/CMakeFiles/leo_estimators.dir/leo.cc.o.d"
+  "/root/repo/src/estimators/normalization.cc" "src/estimators/CMakeFiles/leo_estimators.dir/normalization.cc.o" "gcc" "src/estimators/CMakeFiles/leo_estimators.dir/normalization.cc.o.d"
+  "/root/repo/src/estimators/offline.cc" "src/estimators/CMakeFiles/leo_estimators.dir/offline.cc.o" "gcc" "src/estimators/CMakeFiles/leo_estimators.dir/offline.cc.o.d"
+  "/root/repo/src/estimators/online.cc" "src/estimators/CMakeFiles/leo_estimators.dir/online.cc.o" "gcc" "src/estimators/CMakeFiles/leo_estimators.dir/online.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/telemetry/CMakeFiles/leo_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/leo_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/leo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/leo_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/leo_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

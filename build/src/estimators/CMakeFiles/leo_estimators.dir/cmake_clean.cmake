@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leo_estimators.dir/active_sampling.cc.o"
+  "CMakeFiles/leo_estimators.dir/active_sampling.cc.o.d"
+  "CMakeFiles/leo_estimators.dir/estimator.cc.o"
+  "CMakeFiles/leo_estimators.dir/estimator.cc.o.d"
+  "CMakeFiles/leo_estimators.dir/leo.cc.o"
+  "CMakeFiles/leo_estimators.dir/leo.cc.o.d"
+  "CMakeFiles/leo_estimators.dir/normalization.cc.o"
+  "CMakeFiles/leo_estimators.dir/normalization.cc.o.d"
+  "CMakeFiles/leo_estimators.dir/offline.cc.o"
+  "CMakeFiles/leo_estimators.dir/offline.cc.o.d"
+  "CMakeFiles/leo_estimators.dir/online.cc.o"
+  "CMakeFiles/leo_estimators.dir/online.cc.o.d"
+  "libleo_estimators.a"
+  "libleo_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leo_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

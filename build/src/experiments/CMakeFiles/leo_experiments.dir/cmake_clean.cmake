@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leo_experiments.dir/accuracy.cc.o"
+  "CMakeFiles/leo_experiments.dir/accuracy.cc.o.d"
+  "CMakeFiles/leo_experiments.dir/csv.cc.o"
+  "CMakeFiles/leo_experiments.dir/csv.cc.o.d"
+  "CMakeFiles/leo_experiments.dir/energy.cc.o"
+  "CMakeFiles/leo_experiments.dir/energy.cc.o.d"
+  "CMakeFiles/leo_experiments.dir/report.cc.o"
+  "CMakeFiles/leo_experiments.dir/report.cc.o.d"
+  "libleo_experiments.a"
+  "libleo_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leo_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/cholesky.cc" "src/linalg/CMakeFiles/leo_linalg.dir/cholesky.cc.o" "gcc" "src/linalg/CMakeFiles/leo_linalg.dir/cholesky.cc.o.d"
+  "/root/repo/src/linalg/eigen.cc" "src/linalg/CMakeFiles/leo_linalg.dir/eigen.cc.o" "gcc" "src/linalg/CMakeFiles/leo_linalg.dir/eigen.cc.o.d"
+  "/root/repo/src/linalg/least_squares.cc" "src/linalg/CMakeFiles/leo_linalg.dir/least_squares.cc.o" "gcc" "src/linalg/CMakeFiles/leo_linalg.dir/least_squares.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/linalg/CMakeFiles/leo_linalg.dir/matrix.cc.o" "gcc" "src/linalg/CMakeFiles/leo_linalg.dir/matrix.cc.o.d"
+  "/root/repo/src/linalg/poly_features.cc" "src/linalg/CMakeFiles/leo_linalg.dir/poly_features.cc.o" "gcc" "src/linalg/CMakeFiles/leo_linalg.dir/poly_features.cc.o.d"
+  "/root/repo/src/linalg/simplex.cc" "src/linalg/CMakeFiles/leo_linalg.dir/simplex.cc.o" "gcc" "src/linalg/CMakeFiles/leo_linalg.dir/simplex.cc.o.d"
+  "/root/repo/src/linalg/vector.cc" "src/linalg/CMakeFiles/leo_linalg.dir/vector.cc.o" "gcc" "src/linalg/CMakeFiles/leo_linalg.dir/vector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

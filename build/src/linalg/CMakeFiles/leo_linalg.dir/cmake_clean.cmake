@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leo_linalg.dir/cholesky.cc.o"
+  "CMakeFiles/leo_linalg.dir/cholesky.cc.o.d"
+  "CMakeFiles/leo_linalg.dir/eigen.cc.o"
+  "CMakeFiles/leo_linalg.dir/eigen.cc.o.d"
+  "CMakeFiles/leo_linalg.dir/least_squares.cc.o"
+  "CMakeFiles/leo_linalg.dir/least_squares.cc.o.d"
+  "CMakeFiles/leo_linalg.dir/matrix.cc.o"
+  "CMakeFiles/leo_linalg.dir/matrix.cc.o.d"
+  "CMakeFiles/leo_linalg.dir/poly_features.cc.o"
+  "CMakeFiles/leo_linalg.dir/poly_features.cc.o.d"
+  "CMakeFiles/leo_linalg.dir/simplex.cc.o"
+  "CMakeFiles/leo_linalg.dir/simplex.cc.o.d"
+  "CMakeFiles/leo_linalg.dir/vector.cc.o"
+  "CMakeFiles/leo_linalg.dir/vector.cc.o.d"
+  "libleo_linalg.a"
+  "libleo_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leo_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

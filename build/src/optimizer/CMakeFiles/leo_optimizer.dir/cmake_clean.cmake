@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leo_optimizer.dir/pareto.cc.o"
+  "CMakeFiles/leo_optimizer.dir/pareto.cc.o.d"
+  "CMakeFiles/leo_optimizer.dir/schedule.cc.o"
+  "CMakeFiles/leo_optimizer.dir/schedule.cc.o.d"
+  "libleo_optimizer.a"
+  "libleo_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leo_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

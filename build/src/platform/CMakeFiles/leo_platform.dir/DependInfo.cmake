@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/config_space.cc" "src/platform/CMakeFiles/leo_platform.dir/config_space.cc.o" "gcc" "src/platform/CMakeFiles/leo_platform.dir/config_space.cc.o.d"
+  "/root/repo/src/platform/machine.cc" "src/platform/CMakeFiles/leo_platform.dir/machine.cc.o" "gcc" "src/platform/CMakeFiles/leo_platform.dir/machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/leo_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

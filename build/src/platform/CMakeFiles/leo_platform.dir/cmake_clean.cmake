@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leo_platform.dir/config_space.cc.o"
+  "CMakeFiles/leo_platform.dir/config_space.cc.o.d"
+  "CMakeFiles/leo_platform.dir/machine.cc.o"
+  "CMakeFiles/leo_platform.dir/machine.cc.o.d"
+  "libleo_platform.a"
+  "libleo_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leo_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leo_runtime.dir/controller.cc.o"
+  "CMakeFiles/leo_runtime.dir/controller.cc.o.d"
+  "CMakeFiles/leo_runtime.dir/phased_run.cc.o"
+  "CMakeFiles/leo_runtime.dir/phased_run.cc.o.d"
+  "libleo_runtime.a"
+  "libleo_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leo_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

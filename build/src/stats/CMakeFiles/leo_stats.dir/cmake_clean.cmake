@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leo_stats.dir/metrics.cc.o"
+  "CMakeFiles/leo_stats.dir/metrics.cc.o.d"
+  "CMakeFiles/leo_stats.dir/mvn.cc.o"
+  "CMakeFiles/leo_stats.dir/mvn.cc.o.d"
+  "CMakeFiles/leo_stats.dir/rng.cc.o"
+  "CMakeFiles/leo_stats.dir/rng.cc.o.d"
+  "CMakeFiles/leo_stats.dir/summary.cc.o"
+  "CMakeFiles/leo_stats.dir/summary.cc.o.d"
+  "libleo_stats.a"
+  "libleo_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leo_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/meters.cc" "src/telemetry/CMakeFiles/leo_telemetry.dir/meters.cc.o" "gcc" "src/telemetry/CMakeFiles/leo_telemetry.dir/meters.cc.o.d"
+  "/root/repo/src/telemetry/profile_store.cc" "src/telemetry/CMakeFiles/leo_telemetry.dir/profile_store.cc.o" "gcc" "src/telemetry/CMakeFiles/leo_telemetry.dir/profile_store.cc.o.d"
+  "/root/repo/src/telemetry/sampler.cc" "src/telemetry/CMakeFiles/leo_telemetry.dir/sampler.cc.o" "gcc" "src/telemetry/CMakeFiles/leo_telemetry.dir/sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/leo_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/leo_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/leo_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/leo_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leo_telemetry.dir/meters.cc.o"
+  "CMakeFiles/leo_telemetry.dir/meters.cc.o.d"
+  "CMakeFiles/leo_telemetry.dir/profile_store.cc.o"
+  "CMakeFiles/leo_telemetry.dir/profile_store.cc.o.d"
+  "CMakeFiles/leo_telemetry.dir/sampler.cc.o"
+  "CMakeFiles/leo_telemetry.dir/sampler.cc.o.d"
+  "libleo_telemetry.a"
+  "libleo_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leo_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/app_model.cc" "src/workloads/CMakeFiles/leo_workloads.dir/app_model.cc.o" "gcc" "src/workloads/CMakeFiles/leo_workloads.dir/app_model.cc.o.d"
+  "/root/repo/src/workloads/ground_truth.cc" "src/workloads/CMakeFiles/leo_workloads.dir/ground_truth.cc.o" "gcc" "src/workloads/CMakeFiles/leo_workloads.dir/ground_truth.cc.o.d"
+  "/root/repo/src/workloads/inputs.cc" "src/workloads/CMakeFiles/leo_workloads.dir/inputs.cc.o" "gcc" "src/workloads/CMakeFiles/leo_workloads.dir/inputs.cc.o.d"
+  "/root/repo/src/workloads/phased.cc" "src/workloads/CMakeFiles/leo_workloads.dir/phased.cc.o" "gcc" "src/workloads/CMakeFiles/leo_workloads.dir/phased.cc.o.d"
+  "/root/repo/src/workloads/scaling.cc" "src/workloads/CMakeFiles/leo_workloads.dir/scaling.cc.o" "gcc" "src/workloads/CMakeFiles/leo_workloads.dir/scaling.cc.o.d"
+  "/root/repo/src/workloads/suite.cc" "src/workloads/CMakeFiles/leo_workloads.dir/suite.cc.o" "gcc" "src/workloads/CMakeFiles/leo_workloads.dir/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/leo_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/leo_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leo_workloads.dir/app_model.cc.o"
+  "CMakeFiles/leo_workloads.dir/app_model.cc.o.d"
+  "CMakeFiles/leo_workloads.dir/ground_truth.cc.o"
+  "CMakeFiles/leo_workloads.dir/ground_truth.cc.o.d"
+  "CMakeFiles/leo_workloads.dir/inputs.cc.o"
+  "CMakeFiles/leo_workloads.dir/inputs.cc.o.d"
+  "CMakeFiles/leo_workloads.dir/phased.cc.o"
+  "CMakeFiles/leo_workloads.dir/phased.cc.o.d"
+  "CMakeFiles/leo_workloads.dir/scaling.cc.o"
+  "CMakeFiles/leo_workloads.dir/scaling.cc.o.d"
+  "CMakeFiles/leo_workloads.dir/suite.cc.o"
+  "CMakeFiles/leo_workloads.dir/suite.cc.o.d"
+  "libleo_workloads.a"
+  "libleo_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leo_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/active_sampling_test.dir/active_sampling_test.cc.o"
+  "CMakeFiles/active_sampling_test.dir/active_sampling_test.cc.o.d"
+  "active_sampling_test"
+  "active_sampling_test.pdb"
+  "active_sampling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/active_sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simplex_stress_test.dir/simplex_stress_test.cc.o"
+  "CMakeFiles/simplex_stress_test.dir/simplex_stress_test.cc.o.d"
+  "simplex_stress_test"
+  "simplex_stress_test.pdb"
+  "simplex_stress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simplex_stress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

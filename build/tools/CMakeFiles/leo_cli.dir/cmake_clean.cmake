@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/leo_cli.dir/leo_cli.cc.o"
+  "CMakeFiles/leo_cli.dir/leo_cli.cc.o.d"
+  "leo_cli"
+  "leo_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/leo_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

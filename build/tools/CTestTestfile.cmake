@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_demo "/root/repo/build/tools/leo_cli" "demo" "--out" "/root/repo/build/tools/cli_demo_out")
+set_tests_properties(cli_demo PROPERTIES  FIXTURES_SETUP "cli_data" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_estimate "sh" "-c" "/root/repo/build/tools/leo_cli estimate              --prior /root/repo/build/tools/cli_demo_out/prior_perf.csv              --obs /root/repo/build/tools/cli_demo_out/obs_perf.csv > /root/repo/build/tools/cli_demo_out/est.csv              && test -s /root/repo/build/tools/cli_demo_out/est.csv")
+set_tests_properties(cli_estimate PROPERTIES  FIXTURES_REQUIRED "cli_data" FIXTURES_SETUP "cli_est" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_schedule "sh" "-c" "cut -d, -f1,2 /root/repo/build/tools/cli_demo_out/est.csv              > /root/repo/build/tools/cli_demo_out/perf.csv &&              awk -F, '{print \$1\",\"(100 + 5 * \$1)}'                  /root/repo/build/tools/cli_demo_out/perf.csv > /root/repo/build/tools/cli_demo_out/power.csv &&              /root/repo/build/tools/leo_cli schedule                  --perf /root/repo/build/tools/cli_demo_out/perf.csv                  --power /root/repo/build/tools/cli_demo_out/power.csv                  --work 1000 --deadline 10 --idle 85")
+set_tests_properties(cli_schedule PROPERTIES  FIXTURES_REQUIRED "cli_data;cli_est" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_usage "/root/repo/build/tools/leo_cli" "estimate" "--prior" "/nonexistent" "--obs" "/nonexistent")
+set_tests_properties(cli_bad_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;31;add_test;/root/repo/tools/CMakeLists.txt;0;")
