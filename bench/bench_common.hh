@@ -14,6 +14,10 @@
  *                     the sweep figures (default: fig12 uses a
  *                     512-config reduction to bound runtime)
  *   LEO_BENCH_SEED    master seed (default 42)
+ *   LEO_THREADS       size of the shared worker pool the accuracy
+ *                     sweeps fan their fits across (default:
+ *                     hardware concurrency; results are identical
+ *                     at any value)
  */
 
 #ifndef LEO_BENCH_BENCH_COMMON_HH

@@ -23,6 +23,10 @@ leo_add_bench(tab01_phase_energy)
 leo_add_bench(overhead_leo)
 target_link_libraries(overhead_leo PRIVATE benchmark::benchmark)
 
+# Batch-fit scaling: serial vs parallel wall time plus a bitwise
+# determinism cross-check (plain chrono, no google-benchmark).
+leo_add_bench(overhead_parallel)
+
 # Ablation benches for the design choices called out in DESIGN.md.
 leo_add_bench(abl01_em_init)
 leo_add_bench(abl02_active_sampling)

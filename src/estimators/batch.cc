@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Implementation of batch estimation.
+ */
+
+#include "estimators/batch.hh"
+
+#include "parallel/parallel_for.hh"
+
+namespace leo::estimators
+{
+
+std::vector<MetricEstimate>
+EstimatorBatch::run(const platform::ConfigSpace &space)
+{
+    std::vector<EstimateRequest> requests = std::move(requests_);
+    requests_.clear();
+    std::vector<MetricEstimate> results(requests.size());
+    parallel::parallelFor(pool_, requests.size(), [&](std::size_t i) {
+        const EstimateRequest &r = requests[i];
+        results[i] = estimator_.estimateMetric(
+            space, r.prior, r.obsIndices, r.obsValues);
+    });
+    return results;
+}
+
+} // namespace leo::estimators

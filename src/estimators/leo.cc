@@ -13,10 +13,28 @@
 #include "estimators/offline.hh"
 #include "linalg/cholesky.hh"
 #include "linalg/error.hh"
+#include "parallel/parallel_for.hh"
 #include "stats/mvn.hh"
 
 namespace leo::estimators
 {
+
+namespace
+{
+
+/**
+ * Leaf-chunk grain for the per-application reductions: at most 8
+ * leaves regardless of worker count, so the combine tree (and with
+ * it every rounding decision) depends only on the number of prior
+ * applications.
+ */
+std::size_t
+emGrain(std::size_t m)
+{
+    return (m + 7) / 8;
+}
+
+} // namespace
 
 LeoEstimator::LeoEstimator(LeoOptions options) : options_(options)
 {
@@ -27,6 +45,18 @@ LeoEstimator::LeoEstimator(LeoOptions options) : options_(options)
             "LeoEstimator: need >= 1 EM iteration");
     require(options_.initSigma2 > 0.0,
             "LeoEstimator: initial sigma^2 must be > 0");
+    if (options_.threads > 1)
+        pool_ = std::make_unique<parallel::ThreadPool>(
+            options_.threads - 1);
+}
+
+parallel::ThreadPool &
+LeoEstimator::pool() const
+{
+    if (pool_)
+        return *pool_;
+    return options_.threads == 1 ? parallel::ThreadPool::serial()
+                                 : parallel::ThreadPool::global();
 }
 
 MetricEstimate
@@ -92,14 +122,19 @@ LeoEstimator::fitMetric(const std::vector<linalg::Vector> &prior,
 
     double sigma2 = options_.initSigma2;
 
-    linalg::Matrix sigma_m(n, n, 0.0);
-    for (const linalg::Vector &x : shapes)
-        sigma_m += linalg::Matrix::outer(x - mu, x - mu);
+    // Residual matrix with rows x_i - mu: sum_i outer(x_i - mu) is
+    // its Gram matrix, computed with the blocked syrk-style kernel.
+    linalg::Matrix resid(m_prior, n);
+    for (std::size_t i = 0; i < m_prior; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            resid.at(i, j) = shapes[i][j] - mu[j];
+    linalg::Matrix sigma_m = linalg::Matrix::gram(resid);
     sigma_m += options_.hyperPi * linalg::Matrix::outer(mu, mu);
     sigma_m.addToDiagonal(options_.hyperPsiScale);
     sigma_m /= m_total + 1.0;
 
     // ---- EM iterations --------------------------------------------
+    parallel::ThreadPool &workers = pool();
     LeoFit fit;
     fit.scale = scale;
     stats::GaussianPosterior target_post;
@@ -120,6 +155,21 @@ LeoEstimator::fitMetric(const std::vector<linalg::Vector> &prior,
         const linalg::Cholesky chol(a, 1e-6);
         const linalg::Matrix inv = chol.inverse();
 
+        // Fan the per-application E-step across the pool: the shared
+        // matrix-vector product inv * (x_i - mu) yields both the
+        // posterior mean z_i and the app's log-likelihood quadratic
+        // term. Each iteration writes disjoint slots; every
+        // reduction below folds in a fixed order, so the fit is
+        // bitwise identical at any thread count.
+        std::vector<linalg::Vector> z(m_prior);
+        linalg::Vector ll_quad(m_prior);
+        parallel::parallelFor(workers, m_prior, [&](std::size_t i) {
+            const linalg::Vector d = shapes[i] - mu;
+            const linalg::Vector w = inv * d;
+            ll_quad[i] = linalg::dot(d, w);
+            z[i] = shapes[i] - sigma2 * w;
+        });
+
         // Marginal log-likelihood of everything observed under the
         // current theta: fully observed apps are N(mu, Sigma +
         // sigma^2 I); the target contributes its Omega marginal.
@@ -128,10 +178,8 @@ LeoEstimator::fitMetric(const std::vector<linalg::Vector> &prior,
             double ll = -0.5 * static_cast<double>(m_prior) *
                         (static_cast<double>(n) * log2pi +
                          chol.logDet());
-            for (std::size_t i = 0; i < m_prior; ++i) {
-                const linalg::Vector d = shapes[i] - mu;
-                ll -= 0.5 * linalg::dot(d, inv * d);
-            }
+            for (std::size_t i = 0; i < m_prior; ++i)
+                ll -= 0.5 * ll_quad[i];
             if (have_obs) {
                 linalg::Matrix a_obs = sigma_m.gather(obs_idx);
                 a_obs.addToDiagonal(sigma2);
@@ -144,12 +192,6 @@ LeoEstimator::fitMetric(const std::vector<linalg::Vector> &prior,
                              chol_obs.logDet() + w.squaredNorm());
             }
             fit.logLikelihoodTrace.push_back(ll);
-        }
-
-        std::vector<linalg::Vector> z(m_prior);
-        for (std::size_t i = 0; i < m_prior; ++i) {
-            const linalg::Vector d = shapes[i] - mu;
-            z[i] = shapes[i] - sigma2 * (inv * d);
         }
 
         // E-step, target application (sparse observations):
@@ -176,8 +218,21 @@ LeoEstimator::fitMetric(const std::vector<linalg::Vector> &prior,
         s_accum.addToDiagonal(sigma2 * static_cast<double>(m_prior));
         if (have_obs)
             s_accum += target_post.cov;
-        for (const linalg::Vector &zi : z)
-            s_accum += linalg::Matrix::outer(zi - mu_new, zi - mu_new);
+        // sum_i (z_i - mu)(z_i - mu)': per-chunk Gram partials
+        // folded along the fixed combine tree — the chunk layout
+        // depends only on m_prior, never on the worker count.
+        s_accum += parallel::parallelReduce<linalg::Matrix>(
+            workers, m_prior, emGrain(m_prior),
+            [&](std::size_t b, std::size_t e) {
+                linalg::Matrix r(e - b, n);
+                for (std::size_t i = b; i < e; ++i)
+                    for (std::size_t j = 0; j < n; ++j)
+                        r.at(i - b, j) = z[i][j] - mu_new[j];
+                return linalg::Matrix::gram(r);
+            },
+            [](linalg::Matrix &into, linalg::Matrix &&from) {
+                into += from;
+            });
         if (have_obs) {
             const linalg::Vector d = target_post.mean - mu_new;
             s_accum += linalg::Matrix::outer(d, d);

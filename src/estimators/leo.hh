@@ -30,10 +30,12 @@
 #ifndef LEO_ESTIMATORS_LEO_HH
 #define LEO_ESTIMATORS_LEO_HH
 
+#include <memory>
 #include <vector>
 
 #include "estimators/estimator.hh"
 #include "linalg/matrix.hh"
+#include "parallel/thread_pool.hh"
 
 namespace leo::estimators
 {
@@ -64,6 +66,15 @@ struct LeoOptions
     double initSigma2 = 1e-2;
     /** Floor on sigma^2 to keep the E-step well posed. */
     double minSigma2 = 1e-8;
+    /**
+     * Threads the EM fit may use. 0 = the process-wide shared pool
+     * (sized from LEO_THREADS or hardware concurrency), 1 = strictly
+     * serial, N > 1 = a private pool with N - 1 workers plus the
+     * caller. The fit is bitwise identical for every value — the
+     * parallel reductions use thread-count-independent chunking and
+     * a fixed combine tree (see parallel/parallel_for.hh).
+     */
+    std::size_t threads = 0;
 };
 
 /** Full output of one EM fit (one metric). */
@@ -126,7 +137,13 @@ class LeoEstimator : public Estimator
                      const linalg::Vector &obs_vals) const;
 
   private:
+    /** The pool the fit fans across, per options_.threads. */
+    parallel::ThreadPool &pool() const;
+
     LeoOptions options_;
+    /** Private pool when options_.threads > 1 (built eagerly in the
+     *  constructor so concurrent fits never race on creation). */
+    std::unique_ptr<parallel::ThreadPool> pool_;
 };
 
 } // namespace leo::estimators

@@ -1,14 +1,25 @@
 /**
  * @file
  * Implementation of the accuracy experiment.
+ *
+ * The leave-one-out protocol runs one independent estimation problem
+ * per (application, trial, approach); those fits are fanned across
+ * the shared thread pool through estimators::EstimatorBatch. All
+ * randomness is forked from the master RNG in the serial order
+ * before any parallel work starts, so the experiment's output is
+ * identical at every thread count.
  */
 
 #include "experiments/accuracy.hh"
 
+#include <memory>
+
+#include "estimators/batch.hh"
 #include "estimators/leo.hh"
 #include "estimators/offline.hh"
 #include "estimators/online.hh"
 #include "linalg/error.hh"
+#include "parallel/parallel_for.hh"
 #include "stats/metrics.hh"
 #include "telemetry/profile_store.hh"
 #include "telemetry/sampler.hh"
@@ -69,48 +80,88 @@ runAccuracyExperiment(estimators::Metric metric,
     const estimators::OnlineEstimator online_est;
     const estimators::OfflineEstimator offline_est;
 
-    std::vector<AccuracyRow> rows;
-    rows.reserve(apps.size());
+    std::unique_ptr<parallel::ThreadPool> local_pool;
+    parallel::ThreadPool *pool = &parallel::ThreadPool::global();
+    if (options.threads == 1) {
+        pool = &parallel::ThreadPool::serial();
+    } else if (options.threads > 1) {
+        local_pool = std::make_unique<parallel::ThreadPool>(
+            options.threads - 1);
+        pool = local_pool.get();
+    }
 
-    for (const workloads::ApplicationProfile &profile : apps) {
+    const std::size_t n_apps = apps.size();
+    const std::size_t trials = options.trials;
+
+    // Per-(app, trial) sampling, serial and in the seed's original
+    // order so every RNG fork draws the same stream regardless of
+    // the pool size; the expensive part — the fits — is batched.
+    struct Trial
+    {
+        telemetry::Observations obs;
+        bool anchored = false;
+    };
+    std::vector<workloads::GroundTruth> truths;
+    truths.reserve(n_apps);
+    std::vector<std::vector<Trial>> trial_inputs(n_apps);
+
+    estimators::EstimatorBatch leo_batch(leo_est, *pool);
+    estimators::EstimatorBatch online_batch(online_est, *pool);
+    estimators::EstimatorBatch offline_batch(offline_est, *pool);
+
+    for (std::size_t a = 0; a < n_apps; ++a) {
+        const workloads::ApplicationProfile &profile = apps[a];
         const workloads::ApplicationModel model(profile, machine);
-        const workloads::GroundTruth gt =
-            workloads::computeGroundTruth(model, space);
-        const linalg::Vector &truth =
-            metric == estimators::Metric::Performance ? gt.performance
-                                                      : gt.power;
-        const telemetry::ProfileStore prior =
-            store.without(profile.name);
+        truths.push_back(workloads::computeGroundTruth(model, space));
         const std::vector<linalg::Vector> prior_vecs =
-            estimators::priorVectors(prior, metric);
+            estimators::priorVectors(store.without(profile.name),
+                                     metric);
 
-        AccuracyRow row;
-        row.application = profile.name;
-
-        for (std::size_t t = 0; t < options.trials; ++t) {
+        trial_inputs[a].reserve(trials);
+        for (std::size_t t = 0; t < trials; ++t) {
             stats::Rng rng = master.fork();
-            const telemetry::Observations obs = profiler.sample(
-                model, space, policy, options.sampleBudget, rng);
+            Trial trial;
+            trial.obs = profiler.sample(model, space, policy,
+                                        options.sampleBudget, rng);
+            trial.anchored = !trial.obs.indices.empty();
             const linalg::Vector &obs_vals =
                 metric == estimators::Metric::Performance
-                    ? obs.performance
-                    : obs.power;
-            const bool anchored = !obs.indices.empty();
-
-            row.leo += score(leo_est.estimateMetric(space, prior_vecs,
-                                                    obs.indices,
-                                                    obs_vals),
-                             truth, anchored);
-            row.online += score(
-                online_est.estimateMetric(space, prior_vecs,
-                                          obs.indices, obs_vals),
-                truth, anchored);
-            row.offline += score(
-                offline_est.estimateMetric(space, prior_vecs,
-                                           obs.indices, obs_vals),
-                truth, anchored);
+                    ? trial.obs.performance
+                    : trial.obs.power;
+            estimators::EstimateRequest req{
+                prior_vecs, trial.obs.indices, obs_vals};
+            leo_batch.add(req);
+            online_batch.add(req);
+            offline_batch.add(std::move(req));
+            trial_inputs[a].push_back(std::move(trial));
         }
-        const double n = static_cast<double>(options.trials);
+    }
+
+    // Requests are laid out app-major, trial-minor: a * trials + t.
+    const std::vector<estimators::MetricEstimate> leo_out =
+        leo_batch.run(space);
+    const std::vector<estimators::MetricEstimate> online_out =
+        online_batch.run(space);
+    const std::vector<estimators::MetricEstimate> offline_out =
+        offline_batch.run(space);
+
+    std::vector<AccuracyRow> rows;
+    rows.reserve(n_apps);
+    for (std::size_t a = 0; a < n_apps; ++a) {
+        const linalg::Vector &truth =
+            metric == estimators::Metric::Performance
+                ? truths[a].performance
+                : truths[a].power;
+        AccuracyRow row;
+        row.application = apps[a].name;
+        for (std::size_t t = 0; t < trials; ++t) {
+            const std::size_t k = a * trials + t;
+            const bool anchored = trial_inputs[a][t].anchored;
+            row.leo += score(leo_out[k], truth, anchored);
+            row.online += score(online_out[k], truth, anchored);
+            row.offline += score(offline_out[k], truth, anchored);
+        }
+        const double n = static_cast<double>(trials);
         row.leo /= n;
         row.online /= n;
         row.offline /= n;

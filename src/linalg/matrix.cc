@@ -248,6 +248,103 @@ Matrix::fill(double value)
     std::fill(data_.begin(), data_.end(), value);
 }
 
+namespace
+{
+
+/** Tile edge for the blocked kernels: 64x64 doubles = 32 KiB per
+ *  operand tile, sized to keep three tiles resident in a typical
+ *  256 KiB L2 slice. */
+constexpr std::size_t kBlock = 64;
+
+} // namespace
+
+Matrix
+Matrix::multiply(const Matrix &a, const Matrix &b)
+{
+    require(a.cols() == b.rows(), "Matrix * Matrix dimension mismatch");
+    const std::size_t m = a.rows();
+    const std::size_t kk = a.cols();
+    const std::size_t n = b.cols();
+    Matrix out(m, n, 0.0);
+    // k-blocks advance in the second loop so every output entry
+    // accumulates its inner dimension in increasing-k order — the
+    // order the naive triple loop uses, hence bitwise equality.
+    for (std::size_t i0 = 0; i0 < m; i0 += kBlock) {
+        const std::size_t i1 = std::min(m, i0 + kBlock);
+        for (std::size_t k0 = 0; k0 < kk; k0 += kBlock) {
+            const std::size_t k1 = std::min(kk, k0 + kBlock);
+            for (std::size_t j0 = 0; j0 < n; j0 += kBlock) {
+                const std::size_t j1 = std::min(n, j0 + kBlock);
+                for (std::size_t i = i0; i < i1; ++i) {
+                    for (std::size_t k = k0; k < k1; ++k) {
+                        const double a_ik = a.at(i, k);
+                        for (std::size_t j = j0; j < j1; ++j)
+                            out.at(i, j) += a_ik * b.at(k, j);
+                    }
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::multiplyTransposed(const Matrix &a, const Matrix &bt)
+{
+    require(a.cols() == bt.cols(),
+            "multiplyTransposed dimension mismatch");
+    const std::size_t m = a.rows();
+    const std::size_t kk = a.cols();
+    const std::size_t n = bt.rows();
+    Matrix out(m, n);
+    for (std::size_t i0 = 0; i0 < m; i0 += kBlock) {
+        const std::size_t i1 = std::min(m, i0 + kBlock);
+        for (std::size_t j0 = 0; j0 < n; j0 += kBlock) {
+            const std::size_t j1 = std::min(n, j0 + kBlock);
+            for (std::size_t i = i0; i < i1; ++i) {
+                for (std::size_t j = j0; j < j1; ++j) {
+                    double acc = 0.0;
+                    for (std::size_t k = 0; k < kk; ++k)
+                        acc += a.at(i, k) * bt.at(j, k);
+                    out.at(i, j) = acc;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::syrk(const Matrix &a)
+{
+    const std::size_t m = a.rows();
+    const std::size_t kk = a.cols();
+    Matrix out(m, m);
+    for (std::size_t i0 = 0; i0 < m; i0 += kBlock) {
+        const std::size_t i1 = std::min(m, i0 + kBlock);
+        for (std::size_t j0 = 0; j0 <= i0; j0 += kBlock) {
+            const std::size_t j1 = std::min(m, j0 + kBlock);
+            for (std::size_t i = i0; i < i1; ++i) {
+                const std::size_t j_hi = std::min(j1, i + 1);
+                for (std::size_t j = j0; j < j_hi; ++j) {
+                    double acc = 0.0;
+                    for (std::size_t k = 0; k < kk; ++k)
+                        acc += a.at(i, k) * a.at(j, k);
+                    out.at(i, j) = acc;
+                    out.at(j, i) = acc;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::gram(const Matrix &a)
+{
+    return syrk(a.transpose());
+}
+
 Matrix
 operator+(Matrix a, const Matrix &b)
 {
@@ -279,18 +376,7 @@ operator*(double s, Matrix a)
 Matrix
 operator*(const Matrix &a, const Matrix &b)
 {
-    require(a.cols() == b.rows(), "Matrix * Matrix dimension mismatch");
-    Matrix out(a.rows(), b.cols(), 0.0);
-    for (std::size_t r = 0; r < a.rows(); ++r) {
-        for (std::size_t k = 0; k < a.cols(); ++k) {
-            const double a_rk = a.at(r, k);
-            if (a_rk == 0.0)
-                continue;
-            for (std::size_t c = 0; c < b.cols(); ++c)
-                out.at(r, c) += a_rk * b.at(k, c);
-        }
-    }
-    return out;
+    return Matrix::multiply(a, b);
 }
 
 Vector

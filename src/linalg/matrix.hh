@@ -135,6 +135,48 @@ class Matrix
     /** Set every entry to a constant. */
     void fill(double value);
 
+    /**
+     * Cache-blocked matrix product a * b.
+     *
+     * Tiles all three loop dimensions; for every output entry the
+     * inner dimension is accumulated in increasing-k order, so the
+     * result is bitwise identical to the naive i,j,k triple loop.
+     * operator*(Matrix, Matrix) forwards here.
+     */
+    static Matrix multiply(const Matrix &a, const Matrix &b);
+
+    /**
+     * Blocked product a * b with b supplied already transposed:
+     * returns a * bt' using row-dot-row inner loops (both operands
+     * stream along contiguous rows). Same increasing-k accumulation
+     * order as multiply().
+     *
+     * @param a  Left operand (m x k).
+     * @param bt The transpose of the right operand (n x k).
+     * @return a * bt' (m x n).
+     */
+    static Matrix multiplyTransposed(const Matrix &a, const Matrix &bt);
+
+    /**
+     * Blocked symmetric rank-k product a * a' (syrk).
+     *
+     * Computes the lower triangle with increasing-k dots of rows of
+     * a and mirrors it, so the result is exactly symmetric and
+     * bitwise identical to multiply(a, a.transpose()).
+     */
+    static Matrix syrk(const Matrix &a);
+
+    /**
+     * Blocked Gram matrix a' * a.
+     *
+     * Entry (i, j) is the increasing-k dot of columns i and j of a;
+     * bitwise identical to multiply(a.transpose(), a). This is the
+     * kernel behind the EM M-step's sums of outer products: for a
+     * matrix whose rows are vectors r_k, gram(a) = sum_k r_k r_k'
+     * accumulated in row order.
+     */
+    static Matrix gram(const Matrix &a);
+
   private:
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;

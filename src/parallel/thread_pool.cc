@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Implementation of the worker pool.
+ */
+
+#include "parallel/thread_pool.hh"
+
+#include <cstdlib>
+#include <string>
+
+namespace leo::parallel
+{
+
+namespace
+{
+
+/** Set for the lifetime of every worker thread, in any pool. */
+thread_local bool inside_worker = false;
+
+} // namespace
+
+ThreadPool::ThreadPool(std::size_t workers)
+{
+    threads_.reserve(workers);
+    for (std::size_t i = 0; i < workers; ++i)
+        threads_.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::post(std::function<void()> task)
+{
+    if (threads_.empty()) {
+        task();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    inside_worker = true;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this]() { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping_ and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+bool
+ThreadPool::insideWorker()
+{
+    return inside_worker;
+}
+
+std::size_t
+ThreadPool::defaultConcurrency()
+{
+    if (const char *env = std::getenv("LEO_THREADS")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && v > 0)
+            return static_cast<std::size_t>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool(defaultConcurrency() - 1);
+    return pool;
+}
+
+ThreadPool &
+ThreadPool::serial()
+{
+    static ThreadPool pool(0);
+    return pool;
+}
+
+} // namespace leo::parallel

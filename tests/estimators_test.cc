@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "estimators/batch.hh"
 #include "estimators/leo.hh"
 #include "estimators/normalization.hh"
 #include "estimators/offline.hh"
@@ -467,4 +468,115 @@ TEST(Estimator, EstimateRunsBothMetrics)
     // Power estimates stay in a physically sane band.
     EXPECT_GT(est.power.values.min(), 50.0);
     EXPECT_LT(est.power.values.max(), 500.0);
+}
+
+// ------------------------------------------------ Parallel determinism
+
+namespace
+{
+
+/** One EM fit on a fixed-seed workload at the given thread count. */
+estimators::LeoFit
+fitWithThreads(std::size_t threads)
+{
+    CoreOnlyWorld w; // fixed fixture seed (2024)
+    auto prior = w.priorPerf("kmeans");
+    workloads::ApplicationModel app(
+        workloads::profileByName("kmeans"), w.machine);
+    telemetry::Profiler prof(w.monitor, w.meter);
+    telemetry::RandomSampler pol;
+    auto obs = prof.sample(app, w.space, pol, 12, w.rng);
+
+    estimators::LeoOptions opt;
+    opt.threads = threads;
+    opt.maxIterations = 8;
+    estimators::LeoEstimator leo(opt);
+    return leo.fitMetric(prior, obs.indices, obs.performance);
+}
+
+/** Exact (bitwise) vector equality, with a useful failure message. */
+void
+expectExactlyEqual(const Vector &a, const Vector &b,
+                   const std::string &what)
+{
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]) << what << " differs at index " << i;
+}
+
+} // namespace
+
+TEST(LeoParallel, FitBitwiseIdenticalAcrossThreadCounts)
+{
+    // The acceptance bar for the parallel subsystem: the EM fit is
+    // *exactly* the same computation at 1, 2 and 8 threads — same
+    // estimates, same fitted parameters, same iteration count, same
+    // per-iteration log-likelihood trace.
+    const estimators::LeoFit serial = fitWithThreads(1);
+    for (std::size_t threads : {2u, 8u}) {
+        const estimators::LeoFit fit = fitWithThreads(threads);
+        expectExactlyEqual(fit.prediction, serial.prediction,
+                           "prediction");
+        expectExactlyEqual(fit.predictionVariance,
+                           serial.predictionVariance,
+                           "predictionVariance");
+        expectExactlyEqual(fit.mu, serial.mu, "mu");
+        EXPECT_EQ(fit.sigma2, serial.sigma2);
+        EXPECT_EQ(fit.iterations, serial.iterations);
+        EXPECT_EQ(fit.converged, serial.converged);
+        ASSERT_EQ(fit.logLikelihoodTrace.size(),
+                  serial.logLikelihoodTrace.size());
+        for (std::size_t i = 0; i < fit.logLikelihoodTrace.size();
+             ++i)
+            EXPECT_EQ(fit.logLikelihoodTrace[i],
+                      serial.logLikelihoodTrace[i]);
+        for (std::size_t r = 0; r < fit.sigma.rows(); ++r)
+            for (std::size_t c = 0; c < fit.sigma.cols(); ++c)
+                ASSERT_EQ(fit.sigma.at(r, c), serial.sigma.at(r, c));
+    }
+}
+
+TEST(LeoParallel, SharedGlobalPoolMatchesSerial)
+{
+    // threads = 0 routes through the process-wide pool; still the
+    // identical computation.
+    const estimators::LeoFit serial = fitWithThreads(1);
+    const estimators::LeoFit pooled = fitWithThreads(0);
+    expectExactlyEqual(pooled.prediction, serial.prediction,
+                       "prediction (global pool)");
+    EXPECT_EQ(pooled.iterations, serial.iterations);
+}
+
+TEST(EstimatorBatch, MatchesIndividualFitsExactly)
+{
+    CoreOnlyWorld w;
+    telemetry::Profiler prof(w.monitor, w.meter);
+    telemetry::RandomSampler pol;
+    estimators::LeoEstimator leo;
+
+    std::vector<estimators::EstimateRequest> requests;
+    for (const char *name : {"kmeans", "swish", "x264"}) {
+        auto prior = w.priorPerf(name);
+        workloads::ApplicationModel app(
+            workloads::profileByName(name), w.machine);
+        auto obs = prof.sample(app, w.space, pol, 8, w.rng);
+        requests.push_back(estimators::EstimateRequest{
+            std::move(prior), obs.indices, obs.performance});
+    }
+
+    parallel::ThreadPool pool(3);
+    estimators::EstimatorBatch batch(leo, pool);
+    for (const auto &r : requests)
+        batch.add(r);
+    auto batched = batch.run(w.space);
+    ASSERT_EQ(batched.size(), requests.size());
+    EXPECT_EQ(batch.size(), 0u); // run() clears the queue
+
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        auto solo = leo.estimateMetric(w.space, requests[i].prior,
+                                       requests[i].obsIndices,
+                                       requests[i].obsValues);
+        expectExactlyEqual(batched[i].values, solo.values, "batch");
+        EXPECT_EQ(batched[i].iterations, solo.iterations);
+    }
 }

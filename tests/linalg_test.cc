@@ -453,3 +453,137 @@ TEST(Simplex, EnergyLpShape)
     EXPECT_NEAR(sol.objective, 3.0, 1e-8);
     EXPECT_NEAR(sol.x[1], 1.0, 1e-8);
 }
+
+// ------------------------------------------- Blocked kernel properties
+
+namespace
+{
+
+/** Naive i,j,k reference product — the shared accumulation order
+ *  (inner dimension folded in increasing k) the blocked kernels
+ *  must reproduce bit for bit. */
+Matrix
+naiveMultiply(const Matrix &a, const Matrix &b)
+{
+    Matrix out(a.rows(), b.cols());
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+        for (std::size_t j = 0; j < b.cols(); ++j) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k < a.cols(); ++k)
+                acc += a.at(i, k) * b.at(k, j);
+            out.at(i, j) = acc;
+        }
+    }
+    return out;
+}
+
+Matrix
+randomMatrix(std::size_t rows, std::size_t cols, stats::Rng &rng)
+{
+    Matrix m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            // Wide dynamic range so reordered accumulation would
+            // actually round differently.
+            m.at(r, c) = rng.gaussian() * std::pow(10.0, rng.uniform(-6.0, 6.0));
+    return m;
+}
+
+void
+expectBitwiseEqual(const Matrix &a, const Matrix &b,
+                   const std::string &what)
+{
+    ASSERT_EQ(a.rows(), b.rows()) << what;
+    ASSERT_EQ(a.cols(), b.cols()) << what;
+    for (std::size_t r = 0; r < a.rows(); ++r)
+        for (std::size_t c = 0; c < a.cols(); ++c)
+            ASSERT_EQ(a.at(r, c), b.at(r, c))
+                << what << " differs at (" << r << "," << c << ")";
+}
+
+/** Awkward (m, k, n) shapes: degenerate edges, primes, and dims
+ *  straddling the 64-wide tile of the blocked kernels. */
+const std::size_t kShapes[][3] = {
+    {1, 1, 1},   {1, 7, 1},   {1, 5, 9},    {9, 1, 5},
+    {3, 17, 1},  {7, 11, 13}, {31, 37, 29}, {61, 64, 67},
+    {64, 64, 64}, {65, 63, 64}, {65, 129, 66}, {128, 65, 2},
+};
+
+} // namespace
+
+TEST(BlockedKernels, MultiplyMatchesNaiveToZeroUlp)
+{
+    stats::Rng rng(8881);
+    for (const auto &shape : kShapes) {
+        const Matrix a = randomMatrix(shape[0], shape[1], rng);
+        const Matrix b = randomMatrix(shape[1], shape[2], rng);
+        expectBitwiseEqual(Matrix::multiply(a, b), naiveMultiply(a, b),
+                           "multiply " + std::to_string(shape[0]) + "x" +
+                               std::to_string(shape[1]) + "x" +
+                               std::to_string(shape[2]));
+    }
+}
+
+TEST(BlockedKernels, OperatorForwardsToBlockedMultiply)
+{
+    stats::Rng rng(17);
+    const Matrix a = randomMatrix(33, 65, rng);
+    const Matrix b = randomMatrix(65, 31, rng);
+    expectBitwiseEqual(a * b, Matrix::multiply(a, b), "operator*");
+}
+
+TEST(BlockedKernels, MultiplyTransposedMatchesNaiveToZeroUlp)
+{
+    stats::Rng rng(4242);
+    for (const auto &shape : kShapes) {
+        const Matrix a = randomMatrix(shape[0], shape[1], rng);
+        const Matrix bt = randomMatrix(shape[2], shape[1], rng);
+        expectBitwiseEqual(
+            Matrix::multiplyTransposed(a, bt),
+            naiveMultiply(a, bt.transpose()),
+            "multiplyTransposed " + std::to_string(shape[0]) + "x" +
+                std::to_string(shape[1]) + "x" +
+                std::to_string(shape[2]));
+    }
+}
+
+TEST(BlockedKernels, SyrkMatchesNaiveToZeroUlp)
+{
+    stats::Rng rng(9091);
+    for (const auto &shape : kShapes) {
+        const Matrix a = randomMatrix(shape[0], shape[1], rng);
+        const Matrix s = Matrix::syrk(a);
+        expectBitwiseEqual(s, naiveMultiply(a, a.transpose()),
+                           "syrk " + std::to_string(shape[0]) + "x" +
+                               std::to_string(shape[1]));
+        EXPECT_TRUE(s.isSymmetric(0.0));
+    }
+}
+
+TEST(BlockedKernels, GramMatchesNaiveToZeroUlp)
+{
+    stats::Rng rng(7777);
+    for (const auto &shape : kShapes) {
+        const Matrix a = randomMatrix(shape[0], shape[1], rng);
+        const Matrix g = Matrix::gram(a);
+        expectBitwiseEqual(g, naiveMultiply(a.transpose(), a),
+                           "gram " + std::to_string(shape[0]) + "x" +
+                               std::to_string(shape[1]));
+        EXPECT_TRUE(g.isSymmetric(0.0));
+    }
+}
+
+TEST(BlockedKernels, GramIsOrderedSumOfRowOuterProducts)
+{
+    // The EM M-step contract: gram(R) where rows of R are residuals
+    // r_i equals sum_i outer(r_i, r_i) accumulated in row order —
+    // exactly, not approximately.
+    stats::Rng rng(555);
+    const Matrix r = randomMatrix(13, 37, rng);
+    Matrix expect(37, 37, 0.0);
+    for (std::size_t i = 0; i < r.rows(); ++i) {
+        const Vector row = r.row(i);
+        expect += Matrix::outer(row, row);
+    }
+    expectBitwiseEqual(Matrix::gram(r), expect, "gram-as-outer-sum");
+}

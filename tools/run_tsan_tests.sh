@@ -1,0 +1,29 @@
+#!/bin/sh
+# Build and run the concurrency-sensitive test binaries under
+# ThreadSanitizer (the -DLEO_SANITIZE=thread preset of the top-level
+# CMakeLists.txt). This is the acceptance gate for src/parallel/ and
+# the parallel EM fit: a data race in the pool, the parallel loops or
+# the estimator slot writes fails the run.
+#
+# Usage: tools/run_tsan_tests.sh [build-dir]
+#   build-dir  defaults to build-tsan (kept separate from the plain
+#              build so the two configurations never collide)
+set -eu
+
+src_dir=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$src_dir/build-tsan"}
+
+cmake -B "$build_dir" -S "$src_dir" \
+    -DLEO_SANITIZE=thread \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build_dir" -j \
+    --target parallel_test estimators_test
+
+# TSAN_OPTIONS: fail the script on any report (exitcode) and keep
+# going within a binary so one race does not mask another.
+TSAN_OPTIONS="halt_on_error=0 exitcode=66 ${TSAN_OPTIONS:-}" \
+    "$build_dir/tests/parallel_test"
+TSAN_OPTIONS="halt_on_error=0 exitcode=66 ${TSAN_OPTIONS:-}" \
+    "$build_dir/tests/estimators_test"
+
+echo "TSan run clean: parallel_test + estimators_test"
