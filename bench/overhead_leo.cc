@@ -6,11 +6,31 @@
  * 2012-era testbed. This google-benchmark binary times one EM fit
  * (per metric) as a function of the configuration-space size, plus
  * the downstream hull walk, which is negligible by comparison.
+ *
+ * Three fit variants are timed so the perf trajectory of the hot
+ * loop stays visible:
+ *
+ *  - BM_LeoFitReference: the allocating reference path (the
+ *    executable specification the workspace path is tested against).
+ *  - BM_LeoFit: the default allocation-free workspace path, cold.
+ *  - BM_LeoWarmRound: one active-sampling-style round — a warm
+ *    refit from the previous round's fit with a persistent
+ *    workspace, after four new observations arrive.
+ *
+ * Every fit row also reports per-EM-iteration time (ms_per_iter), and
+ * the binary always writes machine-readable results to
+ * BENCH_leo.json (google-benchmark JSON) unless --benchmark_out is
+ * given explicitly; tools/bench_diff.py compares two such files.
  */
+
+#include <chrono>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "estimators/leo.hh"
+#include "linalg/workspace.hh"
 #include "optimizer/schedule.hh"
 #include "platform/config_space.hh"
 #include "telemetry/profile_store.hh"
@@ -62,6 +82,31 @@ makeSetup(unsigned core_stride, unsigned speed_stride)
     return s;
 }
 
+/** Time one fit call and fold per-EM-iteration cost into counters. */
+template <typename Fit>
+void
+runTimedFits(benchmark::State &state, const FitSetup &s, Fit &&fit)
+{
+    double total_ms = 0.0;
+    std::size_t total_iters = 0;
+    for (auto _ : state) {
+        const auto t0 = std::chrono::steady_clock::now();
+        estimators::LeoFit f = fit();
+        const auto t1 = std::chrono::steady_clock::now();
+        benchmark::DoNotOptimize(f.prediction);
+        total_ms += std::chrono::duration<double, std::milli>(
+                        t1 - t0).count();
+        total_iters += f.iterations;
+    }
+    state.counters["configs"] = static_cast<double>(s.space.size());
+    state.counters["em_iters"] = static_cast<double>(total_iters) /
+                                 static_cast<double>(state.iterations());
+    if (total_iters > 0)
+        state.counters["ms_per_iter"] =
+            total_ms / static_cast<double>(total_iters);
+}
+
+/** Cold fit on the default allocation-free workspace path. */
 void
 BM_LeoFit(benchmark::State &state)
 {
@@ -69,15 +114,56 @@ BM_LeoFit(benchmark::State &state)
     const unsigned core_stride = static_cast<unsigned>(state.range(0));
     const unsigned speed_stride =
         static_cast<unsigned>(state.range(1));
-    FitSetup s = makeSetup(core_stride, speed_stride);
+    const FitSetup s = makeSetup(core_stride, speed_stride);
     estimators::LeoEstimator est;
-    for (auto _ : state) {
-        auto fit =
-            est.fitMetric(s.prior, s.obs_idx, s.obs_vals);
-        benchmark::DoNotOptimize(fit.prediction);
-    }
-    state.counters["configs"] =
-        static_cast<double>(s.space.size());
+    runTimedFits(state, s, [&]() {
+        return est.fitMetric(s.prior, s.obs_idx, s.obs_vals);
+    });
+}
+
+/** Cold fit on the opt-in allocating reference path (the seed
+ *  implementation; the speedup baseline for bench_diff). */
+void
+BM_LeoFitReference(benchmark::State &state)
+{
+    const unsigned core_stride = static_cast<unsigned>(state.range(0));
+    const unsigned speed_stride =
+        static_cast<unsigned>(state.range(1));
+    const FitSetup s = makeSetup(core_stride, speed_stride);
+    estimators::LeoOptions opts;
+    opts.referencePath = true;
+    estimators::LeoEstimator est(opts);
+    runTimedFits(state, s, [&]() {
+        return est.fitMetric(s.prior, s.obs_idx, s.obs_vals);
+    });
+}
+
+/**
+ * One warm active-sampling round: the previous round fitted 16
+ * observations; 4 new ones arrive and the model is refitted from the
+ * previous theta with a persistent workspace (exactly what
+ * VarianceGuidedSampler and the runtime controller do per round).
+ */
+void
+BM_LeoWarmRound(benchmark::State &state)
+{
+    const unsigned core_stride = static_cast<unsigned>(state.range(0));
+    const unsigned speed_stride =
+        static_cast<unsigned>(state.range(1));
+    const FitSetup s = makeSetup(core_stride, speed_stride);
+    estimators::LeoEstimator est;
+    linalg::Workspace ws;
+    const std::vector<std::size_t> prev_idx(s.obs_idx.begin(),
+                                            s.obs_idx.end() - 4);
+    linalg::Vector prev_vals(s.obs_vals.size() - 4);
+    for (std::size_t i = 0; i < prev_vals.size(); ++i)
+        prev_vals[i] = s.obs_vals[i];
+    const estimators::LeoFit prev = est.fitMetric(
+        s.prior, prev_idx, prev_vals, &ws, nullptr);
+    runTimedFits(state, s, [&]() {
+        return est.fitMetric(s.prior, s.obs_idx, s.obs_vals, &ws,
+                             &prev);
+    });
 }
 
 void
@@ -109,6 +195,44 @@ BENCHMARK(BM_LeoFit)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
+// The reference baseline only at the two largest sizes (it is the
+// slow path; the small sizes add runtime without information).
+BENCHMARK(BM_LeoFitReference)
+    ->Args({1, 2})
+    ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK(BM_LeoWarmRound)
+    ->Args({1, 2})
+    ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
 BENCHMARK(BM_HullWalk)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Always emit machine-readable results: default the JSON output
+    // to BENCH_leo.json in the working directory unless the caller
+    // passed --benchmark_out themselves.
+    std::vector<char *> args(argv, argv + argc);
+    bool has_out = false;
+    for (int i = 1; i < argc; ++i)
+        has_out |= std::string(argv[i]).rfind("--benchmark_out", 0) ==
+                   0;
+    std::string out = "--benchmark_out=BENCH_leo.json";
+    std::string fmt = "--benchmark_out_format=json";
+    if (!has_out) {
+        args.push_back(out.data());
+        args.push_back(fmt.data());
+    }
+    int ac = static_cast<int>(args.size());
+    benchmark::Initialize(&ac, args.data());
+    if (benchmark::ReportUnrecognizedArguments(ac, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

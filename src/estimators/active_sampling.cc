@@ -54,9 +54,18 @@ VarianceGuidedSampler::collect(const MeasureFn &measure,
     }
 
     const LeoEstimator estimator(options_.estimator);
+    // One workspace and one previous fit serve every guidance round:
+    // refits reuse the arena's buffers and (when enabled) warm-start
+    // EM from the previous round's parameters.
+    linalg::Workspace ws;
+    LeoFit fit;
+    bool have_fit = false;
     while (obs.size() < budget) {
-        const LeoFit fit = estimator.fitMetric(prior, obs.indices,
-                                               obs.performance);
+        const LeoFit *warm =
+            (options_.warmStartRefits && have_fit) ? &fit : nullptr;
+        fit = estimator.fitMetric(prior, obs.indices,
+                                  obs.performance, &ws, warm);
+        have_fit = true;
 
         // Rank unobserved configurations by predictive variance.
         std::vector<std::size_t> order;

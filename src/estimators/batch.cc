@@ -16,10 +16,19 @@ EstimatorBatch::run(const platform::ConfigSpace &space)
     std::vector<EstimateRequest> requests = std::move(requests_);
     requests_.clear();
     std::vector<MetricEstimate> results(requests.size());
+    // Warm-start/fit-out plumbing only exists on LeoEstimator; other
+    // estimators silently take the plain interface.
+    const auto *as_leo = dynamic_cast<const LeoEstimator *>(&estimator_);
     parallel::parallelFor(pool_, requests.size(), [&](std::size_t i) {
         const EstimateRequest &r = requests[i];
-        results[i] = estimator_.estimateMetric(
-            space, r.prior, r.obsIndices, r.obsValues);
+        if (as_leo && (r.warmStart || r.fitOut)) {
+            results[i] = as_leo->estimateMetric(
+                space, r.prior, r.obsIndices, r.obsValues,
+                /*ws=*/nullptr, r.warmStart, r.fitOut);
+        } else {
+            results[i] = estimator_.estimateMetric(
+                space, r.prior, r.obsIndices, r.obsValues);
+        }
     });
     return results;
 }

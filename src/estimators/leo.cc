@@ -1,6 +1,24 @@
 /**
  * @file
  * Implementation of the LEO hierarchical Bayesian estimator.
+ *
+ * Two implementations of the EM loop live here:
+ *
+ *  - The *reference path* (LeoOptions::referencePath) is the
+ *    straightforward transcription of Equations (3)-(4): allocating
+ *    temporaries every iteration, naive Cholesky/inverse kernels. It
+ *    is the executable specification of the fit.
+ *  - The default *workspace path* acquires every loop buffer up
+ *    front from a linalg::Workspace, factors and inverts in place
+ *    with the blocked kernels, and exploits symmetry (lower-triangle
+ *    inverse + symv). It produces bitwise-identical output — every
+ *    kernel it substitutes preserves the reference's per-entry
+ *    floating-point accumulation order — while performing zero heap
+ *    allocations inside the iteration loop and roughly halving the
+ *    per-iteration flops.
+ *
+ * The estimator tests assert exact equality between the two paths,
+ * at several thread counts, warm and cold.
  */
 
 #include "estimators/leo.hh"
@@ -8,6 +26,8 @@
 #include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <string>
+#include <utility>
 
 #include "estimators/normalization.hh"
 #include "estimators/offline.hh"
@@ -34,7 +54,16 @@ emGrain(std::size_t m)
     return (m + 7) / 8;
 }
 
+/** Registered heap-allocation counter (test hook; see leo.hh). */
+std::size_t (*alloc_counter)() = nullptr;
+
 } // namespace
+
+void
+setAllocationCounter(std::size_t (*counter)())
+{
+    alloc_counter = counter;
+}
 
 LeoEstimator::LeoEstimator(LeoOptions options) : options_(options)
 {
@@ -65,6 +94,18 @@ LeoEstimator::estimateMetric(const platform::ConfigSpace &space,
                              const std::vector<std::size_t> &obs_idx,
                              const linalg::Vector &obs_vals) const
 {
+    return estimateMetric(space, prior, obs_idx, obs_vals, nullptr,
+                          nullptr, nullptr);
+}
+
+MetricEstimate
+LeoEstimator::estimateMetric(const platform::ConfigSpace &space,
+                             const std::vector<linalg::Vector> &prior,
+                             const std::vector<std::size_t> &obs_idx,
+                             const linalg::Vector &obs_vals,
+                             linalg::Workspace *ws, const LeoFit *warm,
+                             LeoFit *fit_out) const
+{
     MetricEstimate est;
     if (prior.empty()) {
         // No offline knowledge at all: degenerate to a flat guess at
@@ -76,10 +117,15 @@ LeoEstimator::estimateMetric(const platform::ConfigSpace &space,
     }
     require(prior.front().size() == space.size(),
             "LeoEstimator: prior/space size mismatch");
-    LeoFit fit = fitMetric(prior, obs_idx, obs_vals);
-    est.values = std::move(fit.prediction);
+    LeoFit fit = fitMetric(prior, obs_idx, obs_vals, ws, warm);
     est.iterations = fit.iterations;
     est.reliable = true;
+    if (fit_out) {
+        *fit_out = std::move(fit);
+        est.values = fit_out->prediction;
+    } else {
+        est.values = std::move(fit.prediction);
+    }
     return est;
 }
 
@@ -87,6 +133,15 @@ LeoFit
 LeoEstimator::fitMetric(const std::vector<linalg::Vector> &prior,
                         const std::vector<std::size_t> &obs_idx,
                         const linalg::Vector &obs_vals) const
+{
+    return fitMetric(prior, obs_idx, obs_vals, nullptr, nullptr);
+}
+
+LeoFit
+LeoEstimator::fitMetric(const std::vector<linalg::Vector> &prior,
+                        const std::vector<std::size_t> &obs_idx,
+                        const linalg::Vector &obs_vals,
+                        linalg::Workspace *ws, const LeoFit *warm) const
 {
     require(!prior.empty(), "LeoEstimator: no prior applications");
     require(obs_idx.size() == obs_vals.size(),
@@ -112,31 +167,48 @@ LeoEstimator::fitMetric(const std::vector<linalg::Vector> &prior,
     const double m_total =
         static_cast<double>(m_prior) + (have_obs ? 1.0 : 0.0);
 
-    // ---- Initialization (Section 5.5: offline init helps) ---------
+    // ---- Initialization -------------------------------------------
+    // Warm start (when a compatible previous fit is supplied) resumes
+    // EM from its theta; since warm and cold fits share the loop
+    // below, identical theta-zero implies identical output bits.
+    const bool warm_ok =
+        warm != nullptr && warm->mu.size() == n &&
+        warm->sigma.rows() == n && warm->sigma.cols() == n &&
+        warm->sigma2 >= options_.minSigma2 && warm->mu.allFinite() &&
+        warm->sigma.allFinite();
+
     linalg::Vector mu(n, 0.0);
-    if (options_.init == EmInit::Offline) {
-        for (const linalg::Vector &x : shapes)
-            mu += x;
-        mu /= static_cast<double>(m_prior);
-    }
-
+    linalg::Matrix sigma_m;
     double sigma2 = options_.initSigma2;
-
-    // Residual matrix with rows x_i - mu: sum_i outer(x_i - mu) is
-    // its Gram matrix, computed with the blocked syrk-style kernel.
-    linalg::Matrix resid(m_prior, n);
-    for (std::size_t i = 0; i < m_prior; ++i)
-        for (std::size_t j = 0; j < n; ++j)
-            resid.at(i, j) = shapes[i][j] - mu[j];
-    linalg::Matrix sigma_m = linalg::Matrix::gram(resid);
-    sigma_m += options_.hyperPi * linalg::Matrix::outer(mu, mu);
-    sigma_m.addToDiagonal(options_.hyperPsiScale);
-    sigma_m /= m_total + 1.0;
+    if (warm_ok) {
+        mu = warm->mu;
+        sigma_m = warm->sigma;
+        sigma2 = warm->sigma2;
+    } else {
+        // Cold init (Section 5.5: offline init helps).
+        if (options_.init == EmInit::Offline) {
+            for (const linalg::Vector &x : shapes)
+                mu += x;
+            mu /= static_cast<double>(m_prior);
+        }
+        // Residual matrix with rows x_i - mu: sum_i outer(x_i - mu)
+        // is its Gram matrix, computed with the blocked kernel.
+        linalg::Matrix resid(m_prior, n);
+        for (std::size_t i = 0; i < m_prior; ++i)
+            for (std::size_t j = 0; j < n; ++j)
+                resid.at(i, j) = shapes[i][j] - mu[j];
+        sigma_m = linalg::Matrix::gram(resid);
+        sigma_m += options_.hyperPi * linalg::Matrix::outer(mu, mu);
+        sigma_m.addToDiagonal(options_.hyperPsiScale);
+        sigma_m /= m_total + 1.0;
+    }
 
     // ---- EM iterations --------------------------------------------
     parallel::ThreadPool &workers = pool();
     LeoFit fit;
     fit.scale = scale;
+    fit.warmStarted = warm_ok;
+    fit.logLikelihoodTrace.reserve(options_.maxIterations);
     stats::GaussianPosterior target_post;
     target_post.mean = mu;
     linalg::Vector prev_pred = mu;
@@ -144,35 +216,256 @@ LeoEstimator::fitMetric(const std::vector<linalg::Vector> &prior,
     const double total_obs =
         static_cast<double>(m_prior * n + s); // ||L||_F^2
 
+    const auto counter = alloc_counter;
+
+    if (options_.referencePath) {
+        const std::size_t alloc0 = counter ? counter() : 0;
+        for (std::size_t iter = 0; iter < options_.maxIterations;
+             ++iter) {
+            fit.iterations = iter + 1;
+
+            // E-step, fully-observed applications (shared algebra):
+            //   C_full = sigma^2 I - sigma^4 (Sigma + sigma^2 I)^-1
+            //   z_i    = x_i - sigma^2 (Sigma + sigma^2 I)^-1
+            //            (x_i - mu)
+            linalg::Matrix a = sigma_m;
+            a.addToDiagonal(sigma2);
+            const linalg::Cholesky chol(a, 1e-6);
+            const linalg::Matrix inv = chol.inverse();
+
+            // Fan the per-application E-step across the pool: the
+            // shared matrix-vector product inv * (x_i - mu) yields
+            // both the posterior mean z_i and the app's
+            // log-likelihood quadratic term. Each iteration writes
+            // disjoint slots; every reduction below folds in a fixed
+            // order, so the fit is bitwise identical at any thread
+            // count.
+            std::vector<linalg::Vector> z(m_prior);
+            linalg::Vector ll_quad(m_prior);
+            parallel::parallelFor(
+                workers, m_prior, [&](std::size_t i) {
+                    const linalg::Vector d = shapes[i] - mu;
+                    const linalg::Vector w = inv * d;
+                    ll_quad[i] = linalg::dot(d, w);
+                    z[i] = shapes[i] - sigma2 * w;
+                });
+
+            // Marginal log-likelihood of everything observed under
+            // the current theta: fully observed apps are N(mu, Sigma
+            // + sigma^2 I); the target contributes its Omega
+            // marginal.
+            {
+                const double log2pi =
+                    std::log(2.0 * std::numbers::pi);
+                double ll = -0.5 * static_cast<double>(m_prior) *
+                            (static_cast<double>(n) * log2pi +
+                             chol.logDet());
+                for (std::size_t i = 0; i < m_prior; ++i)
+                    ll -= 0.5 * ll_quad[i];
+                if (have_obs) {
+                    linalg::Matrix a_obs = sigma_m.gather(obs_idx);
+                    a_obs.addToDiagonal(sigma2);
+                    const linalg::Cholesky chol_obs(a_obs, 1e-8);
+                    linalg::Vector d(s);
+                    for (std::size_t j = 0; j < s; ++j)
+                        d[j] = x_obs[j] - mu[obs_idx[j]];
+                    const linalg::Vector w = chol_obs.solveLower(d);
+                    ll -= 0.5 * (static_cast<double>(s) * log2pi +
+                                 chol_obs.logDet() + w.squaredNorm());
+                }
+                fit.logLikelihoodTrace.push_back(ll);
+            }
+
+            // E-step, target application (sparse observations):
+            if (have_obs) {
+                target_post = stats::conditionOnObservations(
+                    mu, sigma_m, obs_idx, x_obs, sigma2, true);
+            }
+
+            // M-step: mu (Equation 4, mu_0 = 0).
+            linalg::Vector mu_new(n, 0.0);
+            for (const linalg::Vector &zi : z)
+                mu_new += zi;
+            if (have_obs)
+                mu_new += target_post.mean;
+            mu_new /= m_total + options_.hyperPi;
+
+            // M-step: Sigma (Equation 4; Psi and pi mu mu'
+            // normalized inside the bracket per Yu et al. '05 — see
+            // DESIGN.md).
+            linalg::Matrix s_accum(n, n, 0.0);
+            // sum_i C_i for the fully observed apps is m_prior *
+            // C_full; C_full = sigma^2 I - sigma^4 inv.
+            s_accum += (-sigma2 * sigma2 *
+                        static_cast<double>(m_prior)) * inv;
+            s_accum.addToDiagonal(sigma2 *
+                                  static_cast<double>(m_prior));
+            if (have_obs)
+                s_accum += target_post.cov;
+            // sum_i (z_i - mu)(z_i - mu)': per-chunk Gram partials
+            // folded along the fixed combine tree — the chunk layout
+            // depends only on m_prior, never on the worker count.
+            s_accum += parallel::parallelReduce<linalg::Matrix>(
+                workers, m_prior, emGrain(m_prior),
+                [&](std::size_t b, std::size_t e) {
+                    linalg::Matrix r(e - b, n);
+                    for (std::size_t i = b; i < e; ++i)
+                        for (std::size_t j = 0; j < n; ++j)
+                            r.at(i - b, j) = z[i][j] - mu_new[j];
+                    return linalg::Matrix::gram(r);
+                },
+                [](linalg::Matrix &into, linalg::Matrix &&from) {
+                    into += from;
+                });
+            if (have_obs) {
+                const linalg::Vector d = target_post.mean - mu_new;
+                s_accum += linalg::Matrix::outer(d, d);
+            }
+            s_accum += options_.hyperPi *
+                       linalg::Matrix::outer(mu_new, mu_new);
+            s_accum.addToDiagonal(options_.hyperPsiScale);
+            s_accum /= m_total + 1.0;
+            s_accum.symmetrize();
+
+            // M-step: sigma^2 (Equation 4).
+            double noise_accum = 0.0;
+            // Fully observed apps: every configuration contributes.
+            for (std::size_t i = 0; i < m_prior; ++i) {
+                for (std::size_t j = 0; j < n; ++j) {
+                    const double cjj =
+                        sigma2 - sigma2 * sigma2 * inv.at(j, j);
+                    const double r = z[i][j] - shapes[i][j];
+                    noise_accum += cjj + r * r;
+                }
+            }
+            // Target: only the observed configurations contribute.
+            if (have_obs) {
+                for (std::size_t j = 0; j < s; ++j) {
+                    const std::size_t idx = obs_idx[j];
+                    const double r =
+                        target_post.mean[idx] - x_obs[j];
+                    noise_accum +=
+                        target_post.cov.at(idx, idx) + r * r;
+                }
+            }
+            double sigma2_new = std::max(noise_accum / total_obs,
+                                         options_.minSigma2);
+
+            // Convergence is judged on what the algorithm is for:
+            // the target prediction ("3-4 iterations to reach the
+            // desired accuracy", Section 5.5). Raw parameters —
+            // sigma^2 in particular — keep drifting geometrically
+            // long after the prediction has stabilized.
+            const linalg::Vector &pred =
+                have_obs ? target_post.mean : mu_new;
+            const double dpred = (pred - prev_pred).norm() /
+                                 (prev_pred.norm() + 1e-12);
+            prev_pred = pred;
+
+            mu = std::move(mu_new);
+            sigma_m = std::move(s_accum);
+            sigma2 = sigma2_new;
+
+            if (dpred < options_.tolerance) {
+                fit.converged = true;
+                break;
+            }
+        }
+        if (counter)
+            fit.loopAllocations = counter() - alloc0;
+
+        // ---- Prediction -------------------------------------------
+        // Final E-step for the target under the fitted parameters;
+        // the prediction is E[z_M | theta-hat] rescaled to raw units.
+        if (have_obs) {
+            target_post = stats::conditionOnObservations(
+                mu, sigma_m, obs_idx, x_obs, sigma2, true);
+        } else {
+            target_post.mean = mu;
+            target_post.cov = sigma_m;
+        }
+
+        fit.prediction = linalg::Vector(n);
+        fit.predictionVariance = linalg::Vector(n);
+        for (std::size_t j = 0; j < n; ++j) {
+            fit.prediction[j] =
+                std::max(target_post.mean[j] * scale, 0.0);
+            fit.predictionVariance[j] =
+                (target_post.cov.at(j, j) + sigma2) * scale * scale;
+        }
+        fit.mu = std::move(mu);
+        fit.sigma = std::move(sigma_m);
+        fit.sigma2 = sigma2;
+        return fit;
+    }
+
+    // ---- Workspace path -------------------------------------------
+    // Acquire every buffer the loop touches up front; from here to
+    // the end of the loop the only heap traffic is inside
+    // ThreadPool::post when fanning to workers (serial fits are
+    // strictly allocation-free, which the estimator tests assert).
+    linalg::Workspace local_ws;
+    linalg::Workspace &arena = ws ? *ws : local_ws;
+
+    linalg::Matrix &inv = arena.matrix("em.inv", n, n);
+    linalg::Matrix &a_obs = arena.matrix("em.aobs", s, s);
+    linalg::Vector &d_obs = arena.vector("em.dobs", s);
+    std::vector<linalg::Vector> &z =
+        arena.vectorArray("em.z", m_prior, n);
+    std::vector<linalg::Vector> &dscr =
+        arena.vectorArray("em.d", m_prior, n);
+    linalg::Vector &ll_quad = arena.vector("em.llquad", m_prior);
+    linalg::Vector &mu_new = arena.vector("em.munew", n);
+    linalg::Matrix &s_accum = arena.matrix("em.saccum", n, n);
+    linalg::Vector &d_target = arena.vector("em.dtarget", n);
+
+    const std::size_t grain = emGrain(m_prior);
+    const std::size_t chunks = parallel::chunkCount(m_prior, grain);
+    std::vector<linalg::Matrix *> gram_parts(chunks);
+    std::vector<linalg::Matrix *> resid_parts(chunks);
+    for (std::size_t c = 0; c < chunks; ++c) {
+        const std::size_t b = c * grain;
+        const std::size_t e = std::min(m_prior, b + grain);
+        resid_parts[c] =
+            &arena.matrix("em.resid." + std::to_string(c), e - b, n);
+        gram_parts[c] =
+            &arena.matrix("em.gram." + std::to_string(c), n, n);
+    }
+
+    linalg::Cholesky chol;
+    chol.reserve(n);
+    linalg::Cholesky::reserveInverseScratch(arena, n);
+    linalg::Cholesky chol_obs;
+    stats::ConditioningScratch cond;
+    if (have_obs) {
+        chol_obs.reserve(s);
+        cond.reserve(n, s);
+    }
+    target_post.cov.resize(n, n);
+
+    const std::size_t alloc0 = counter ? counter() : 0;
     for (std::size_t iter = 0; iter < options_.maxIterations; ++iter) {
         fit.iterations = iter + 1;
 
-        // E-step, fully-observed applications (shared algebra):
-        //   C_full = sigma^2 I - sigma^4 (Sigma + sigma^2 I)^-1
-        //   z_i    = x_i - sigma^2 (Sigma + sigma^2 I)^-1 (x_i - mu)
-        linalg::Matrix a = sigma_m;
-        a.addToDiagonal(sigma2);
-        const linalg::Cholesky chol(a, 1e-6);
-        const linalg::Matrix inv = chol.inverse();
+        // E-step, fully-observed applications: factor
+        // (Sigma + sigma^2 I) in place and expand the lower triangle
+        // of its inverse (the mirror is never materialized — the
+        // consumers below are symmetry-aware).
+        chol.factorize(sigma_m, sigma2, 1e-6);
+        chol.inverseInto(inv, arena, /*mirror=*/false);
 
-        // Fan the per-application E-step across the pool: the shared
-        // matrix-vector product inv * (x_i - mu) yields both the
-        // posterior mean z_i and the app's log-likelihood quadratic
-        // term. Each iteration writes disjoint slots; every
-        // reduction below folds in a fixed order, so the fit is
-        // bitwise identical at any thread count.
-        std::vector<linalg::Vector> z(m_prior);
-        linalg::Vector ll_quad(m_prior);
         parallel::parallelFor(workers, m_prior, [&](std::size_t i) {
-            const linalg::Vector d = shapes[i] - mu;
-            const linalg::Vector w = inv * d;
-            ll_quad[i] = linalg::dot(d, w);
-            z[i] = shapes[i] - sigma2 * w;
+            linalg::Vector &d = dscr[i];
+            linalg::Vector &zi = z[i];
+            d = shapes[i];
+            d -= mu;
+            linalg::symv(inv, d, zi);
+            ll_quad[i] = linalg::dot(d, zi);
+            for (std::size_t j = 0; j < n; ++j)
+                zi[j] = shapes[i][j] - sigma2 * zi[j];
         });
 
-        // Marginal log-likelihood of everything observed under the
-        // current theta: fully observed apps are N(mu, Sigma +
-        // sigma^2 I); the target contributes its Omega marginal.
+        // Marginal log-likelihood under the current theta.
         {
             const double log2pi = std::log(2.0 * std::numbers::pi);
             double ll = -0.5 * static_cast<double>(m_prior) *
@@ -181,71 +474,65 @@ LeoEstimator::fitMetric(const std::vector<linalg::Vector> &prior,
             for (std::size_t i = 0; i < m_prior; ++i)
                 ll -= 0.5 * ll_quad[i];
             if (have_obs) {
-                linalg::Matrix a_obs = sigma_m.gather(obs_idx);
-                a_obs.addToDiagonal(sigma2);
-                const linalg::Cholesky chol_obs(a_obs, 1e-8);
-                linalg::Vector d(s);
+                sigma_m.gatherInto(a_obs, obs_idx);
+                chol_obs.factorize(a_obs, sigma2, 1e-8);
                 for (std::size_t j = 0; j < s; ++j)
-                    d[j] = x_obs[j] - mu[obs_idx[j]];
-                const linalg::Vector w = chol_obs.solveLower(d);
+                    d_obs[j] = x_obs[j] - mu[obs_idx[j]];
+                chol_obs.solveLowerInPlace(d_obs);
                 ll -= 0.5 * (static_cast<double>(s) * log2pi +
-                             chol_obs.logDet() + w.squaredNorm());
+                             chol_obs.logDet() +
+                             d_obs.squaredNorm());
             }
             fit.logLikelihoodTrace.push_back(ll);
         }
 
         // E-step, target application (sparse observations):
         if (have_obs) {
-            target_post = stats::conditionOnObservations(
-                mu, sigma_m, obs_idx, x_obs, sigma2, true);
+            stats::conditionOnObservationsInto(
+                target_post, cond, mu, sigma_m, obs_idx, x_obs,
+                sigma2, true);
         }
 
         // M-step: mu (Equation 4, mu_0 = 0).
-        linalg::Vector mu_new(n, 0.0);
+        mu_new.fill(0.0);
         for (const linalg::Vector &zi : z)
             mu_new += zi;
         if (have_obs)
             mu_new += target_post.mean;
         mu_new /= m_total + options_.hyperPi;
 
-        // M-step: Sigma (Equation 4; Psi and pi mu mu' normalized
-        // inside the bracket per Yu et al. '05 — see DESIGN.md).
-        linalg::Matrix s_accum(n, n, 0.0);
-        // sum_i C_i for the fully observed apps is m_prior * C_full;
-        // C_full = sigma^2 I - sigma^4 inv.
-        s_accum += (-sigma2 * sigma2 *
-                    static_cast<double>(m_prior)) * inv;
+        // M-step: Sigma (Equation 4).
+        s_accum.fill(0.0);
+        s_accum.addScaledSymmetric(
+            -sigma2 * sigma2 * static_cast<double>(m_prior), inv);
         s_accum.addToDiagonal(sigma2 * static_cast<double>(m_prior));
         if (have_obs)
             s_accum += target_post.cov;
-        // sum_i (z_i - mu)(z_i - mu)': per-chunk Gram partials
-        // folded along the fixed combine tree — the chunk layout
-        // depends only on m_prior, never on the worker count.
-        s_accum += parallel::parallelReduce<linalg::Matrix>(
-            workers, m_prior, emGrain(m_prior),
-            [&](std::size_t b, std::size_t e) {
-                linalg::Matrix r(e - b, n);
+        parallel::parallelReduceInto(
+            workers, m_prior, grain, gram_parts,
+            [&](std::size_t b, std::size_t e, linalg::Matrix &part) {
+                linalg::Matrix &r = *resid_parts[b / grain];
                 for (std::size_t i = b; i < e; ++i)
                     for (std::size_t j = 0; j < n; ++j)
                         r.at(i - b, j) = z[i][j] - mu_new[j];
-                return linalg::Matrix::gram(r);
+                linalg::Matrix::gramInto(part, r);
             },
-            [](linalg::Matrix &into, linalg::Matrix &&from) {
+            [](linalg::Matrix &into, const linalg::Matrix &from) {
                 into += from;
             });
+        s_accum += *gram_parts[0];
         if (have_obs) {
-            const linalg::Vector d = target_post.mean - mu_new;
-            s_accum += linalg::Matrix::outer(d, d);
+            for (std::size_t j = 0; j < n; ++j)
+                d_target[j] = target_post.mean[j] - mu_new[j];
+            s_accum.outerAddInto(1.0, d_target, d_target);
         }
-        s_accum +=
-            options_.hyperPi * linalg::Matrix::outer(mu_new, mu_new);
+        s_accum.outerAddInto(options_.hyperPi, mu_new, mu_new);
         s_accum.addToDiagonal(options_.hyperPsiScale);
         s_accum /= m_total + 1.0;
         s_accum.symmetrize();
 
         // M-step: sigma^2 (Equation 4).
         double noise_accum = 0.0;
-        // Fully observed apps: every configuration contributes.
         for (std::size_t i = 0; i < m_prior; ++i) {
             for (std::size_t j = 0; j < n; ++j) {
                 const double cjj =
@@ -254,7 +541,6 @@ LeoEstimator::fitMetric(const std::vector<linalg::Vector> &prior,
                 noise_accum += cjj + r * r;
             }
         }
-        // Target: only the observed configurations contribute.
         if (have_obs) {
             for (std::size_t j = 0; j < s; ++j) {
                 const std::size_t idx = obs_idx[j];
@@ -265,19 +551,24 @@ LeoEstimator::fitMetric(const std::vector<linalg::Vector> &prior,
         double sigma2_new =
             std::max(noise_accum / total_obs, options_.minSigma2);
 
-        // Convergence is judged on what the algorithm is for: the
-        // target prediction ("3-4 iterations to reach the desired
-        // accuracy", Section 5.5). Raw parameters — sigma^2 in
-        // particular — keep drifting geometrically long after the
-        // prediction has stabilized.
+        // Convergence on the target prediction, as in the reference
+        // path (the explicit difference loop reproduces
+        // (pred - prev_pred).norm() term for term).
         const linalg::Vector &pred =
             have_obs ? target_post.mean : mu_new;
+        double dd = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            const double t = pred[j] - prev_pred[j];
+            dd += t * t;
+        }
         const double dpred =
-            (pred - prev_pred).norm() / (prev_pred.norm() + 1e-12);
+            std::sqrt(dd) / (prev_pred.norm() + 1e-12);
         prev_pred = pred;
 
-        mu = std::move(mu_new);
-        sigma_m = std::move(s_accum);
+        // Swap theta into place; the swapped-out buffers are
+        // overwritten wholesale next iteration.
+        std::swap(mu, mu_new);
+        std::swap(sigma_m, s_accum);
         sigma2 = sigma2_new;
 
         if (dpred < options_.tolerance) {
@@ -285,13 +576,16 @@ LeoEstimator::fitMetric(const std::vector<linalg::Vector> &prior,
             break;
         }
     }
+    if (counter)
+        fit.loopAllocations = counter() - alloc0;
 
     // ---- Prediction ------------------------------------------------
     // Final E-step for the target under the fitted parameters; the
     // prediction is E[z_M | theta-hat] rescaled to raw units.
     if (have_obs) {
-        target_post = stats::conditionOnObservations(
-            mu, sigma_m, obs_idx, x_obs, sigma2, true);
+        stats::conditionOnObservationsInto(target_post, cond, mu,
+                                           sigma_m, obs_idx, x_obs,
+                                           sigma2, true);
     } else {
         target_post.mean = mu;
         target_post.cov = sigma_m;

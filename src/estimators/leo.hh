@@ -35,10 +35,20 @@
 
 #include "estimators/estimator.hh"
 #include "linalg/matrix.hh"
+#include "linalg/workspace.hh"
 #include "parallel/thread_pool.hh"
 
 namespace leo::estimators
 {
+
+/**
+ * Test hook: register a monotone heap-allocation counter (e.g. backed
+ * by an operator-new override in the test binary). When set,
+ * LeoFit::loopAllocations reports the number of allocations performed
+ * inside the EM iteration loop. Pass nullptr to clear. Not
+ * thread-safe against concurrent fits; intended for tests only.
+ */
+void setAllocationCounter(std::size_t (*counter)());
 
 /** How the EM's mu is initialized (Section 5.5 discussion). */
 enum class EmInit
@@ -75,6 +85,15 @@ struct LeoOptions
      * a fixed combine tree (see parallel/parallel_for.hh).
      */
     std::size_t threads = 0;
+    /**
+     * Opt into the straightforward reference implementation of the
+     * EM loop (allocating temporaries each iteration, naive kernels).
+     * The default workspace path is bitwise identical to it — the
+     * estimator tests assert exact equality — just allocation-free
+     * and considerably faster at large n. Kept as the executable
+     * specification of the fit.
+     */
+    bool referencePath = false;
 };
 
 /** Full output of one EM fit (one metric). */
@@ -101,6 +120,13 @@ struct LeoFit
     std::vector<double> logLikelihoodTrace;
     /** Scale anchor used to de-normalize the prediction. */
     double scale = 1.0;
+    /** True iff this fit was initialized from a previous fit's
+     *  parameters rather than the cold Offline/Zero init. */
+    bool warmStarted = false;
+    /** Heap allocations observed inside the EM iteration loop when a
+     *  counter is registered via setAllocationCounter (0 otherwise).
+     *  The workspace path keeps this at zero. */
+    std::size_t loopAllocations = 0;
 };
 
 /**
@@ -124,6 +150,24 @@ class LeoEstimator : public Estimator
         const linalg::Vector &obs_vals) const override;
 
     /**
+     * Warm-refit variant of estimateMetric for incremental callers
+     * (active sampling, the runtime controller): same result contract,
+     * plus workspace reuse and warm starting across calls.
+     *
+     * @param ws      Scratch arena reused across calls (may be null).
+     * @param warm    Previous fit on the same space to start EM from
+     *                (may be null; invalid fits fall back to cold).
+     * @param fit_out When non-null, receives the full fit so the
+     *                caller can warm-start the next call.
+     */
+    MetricEstimate estimateMetric(
+        const platform::ConfigSpace &space,
+        const std::vector<linalg::Vector> &prior,
+        const std::vector<std::size_t> &obs_idx,
+        const linalg::Vector &obs_vals, linalg::Workspace *ws,
+        const LeoFit *warm, LeoFit *fit_out = nullptr) const;
+
+    /**
      * Run the full EM fit for one metric and return everything
      * (prediction, fitted parameters, diagnostics).
      *
@@ -135,6 +179,28 @@ class LeoEstimator : public Estimator
     LeoFit fitMetric(const std::vector<linalg::Vector> &prior,
                      const std::vector<std::size_t> &obs_idx,
                      const linalg::Vector &obs_vals) const;
+
+    /**
+     * Workspace-and-warm-start variant of fitMetric.
+     *
+     * With a persistent `ws` the EM iteration loop performs no heap
+     * allocations (buffers are acquired up front and reused across
+     * calls), and with a valid `warm` fit the EM starts from the
+     * previous theta instead of the cold init — typically converging
+     * in 1-2 iterations instead of 3-4 on incremental refits. A warm
+     * fit whose shapes don't match this problem (or whose parameters
+     * are not finite) is silently ignored.
+     *
+     * Identical theta-zero implies identical output bits: warm fits
+     * differ from cold fits only through the initialization.
+     *
+     * @param ws   Scratch arena (null = a fit-local arena).
+     * @param warm Previous LeoFit to start from (null = cold init).
+     */
+    LeoFit fitMetric(const std::vector<linalg::Vector> &prior,
+                     const std::vector<std::size_t> &obs_idx,
+                     const linalg::Vector &obs_vals,
+                     linalg::Workspace *ws, const LeoFit *warm) const;
 
   private:
     /** The pool the fit fans across, per options_.threads. */

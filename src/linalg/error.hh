@@ -77,6 +77,19 @@ require(bool cond, const std::string &msg)
 }
 
 /**
+ * Literal-message overload of require(). String literals bind here
+ * instead of materializing a std::string argument, so checks on the
+ * success path never touch the heap — which is what lets the EM hot
+ * loop run allocation-free while staying fully checked.
+ */
+inline void
+require(bool cond, const char *msg)
+{
+    if (!cond)
+        fatal(msg);
+}
+
+/**
  * Check an internal invariant; calls panic() on failure.
  *
  * @param cond Condition that must hold.
@@ -84,6 +97,14 @@ require(bool cond, const std::string &msg)
  */
 inline void
 invariant(bool cond, const std::string &msg)
+{
+    if (!cond)
+        panic(msg);
+}
+
+/** Literal-message overload of invariant(); see require(). */
+inline void
+invariant(bool cond, const char *msg)
 {
     if (!cond)
         panic(msg);

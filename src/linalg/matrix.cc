@@ -248,6 +248,76 @@ Matrix::fill(double value)
     std::fill(data_.begin(), data_.end(), value);
 }
 
+void
+Matrix::resize(std::size_t rows, std::size_t cols)
+{
+    if (rows == rows_ && cols == cols_)
+        return;
+    rows_ = rows;
+    cols_ = cols;
+    // assign() reuses capacity on both shrink and within-capacity
+    // growth, so workspace buffers re-shape without reallocating.
+    data_.assign(rows * cols, 0.0);
+}
+
+void
+Matrix::addScaled(double scale, const Matrix &other)
+{
+    require(rows_ == other.rows_ && cols_ == other.cols_,
+            "Matrix::addScaled dimension mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] += scale * other.data_[i];
+}
+
+void
+Matrix::addScaledSymmetric(double scale, const Matrix &lower)
+{
+    require(rows_ == cols_ && lower.rows() == rows_ &&
+                lower.cols() == cols_,
+            "Matrix::addScaledSymmetric dimension mismatch");
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t j = 0; j < i; ++j) {
+            const double v = scale * lower.at(i, j);
+            at(i, j) += v;
+            at(j, i) += v;
+        }
+        at(i, i) += scale * lower.at(i, i);
+    }
+}
+
+void
+Matrix::outerAddInto(double scale, const Vector &x, const Vector &y)
+{
+    require(rows_ == x.size() && cols_ == y.size(),
+            "Matrix::outerAddInto dimension mismatch");
+    for (std::size_t i = 0; i < rows_; ++i) {
+        const double xi = x[i];
+        for (std::size_t j = 0; j < cols_; ++j)
+            at(i, j) += (xi * y[j]) * scale;
+    }
+}
+
+void
+Matrix::gatherInto(Matrix &out,
+                   const std::vector<std::size_t> &idx) const
+{
+    out.resize(idx.size(), idx.size());
+    for (std::size_t r = 0; r < idx.size(); ++r) {
+        require(idx[r] < rows_, "gatherInto index out of range");
+        for (std::size_t c = 0; c < idx.size(); ++c)
+            out.at(r, c) = at(idx[r], idx[c]);
+    }
+}
+
+void
+Matrix::transposeInto(Matrix &out) const
+{
+    out.resize(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            out.at(c, r) = at(r, c);
+}
+
 namespace
 {
 
@@ -345,6 +415,87 @@ Matrix::gram(const Matrix &a)
     return syrk(a.transpose());
 }
 
+void
+Matrix::multiplyInto(Matrix &out, const Matrix &a, const Matrix &b)
+{
+    require(a.cols() == b.rows(),
+            "multiplyInto dimension mismatch");
+    require(&out != &a && &out != &b, "multiplyInto aliased output");
+    const std::size_t m = a.rows();
+    const std::size_t kk = a.cols();
+    const std::size_t n = b.cols();
+    out.resize(m, n);
+    out.fill(0.0);
+    // Same tiling and increasing-k accumulation as multiply().
+    for (std::size_t i0 = 0; i0 < m; i0 += kBlock) {
+        const std::size_t i1 = std::min(m, i0 + kBlock);
+        for (std::size_t k0 = 0; k0 < kk; k0 += kBlock) {
+            const std::size_t k1 = std::min(kk, k0 + kBlock);
+            for (std::size_t j0 = 0; j0 < n; j0 += kBlock) {
+                const std::size_t j1 = std::min(n, j0 + kBlock);
+                for (std::size_t i = i0; i < i1; ++i) {
+                    for (std::size_t k = k0; k < k1; ++k) {
+                        const double a_ik = a.at(i, k);
+                        for (std::size_t j = j0; j < j1; ++j)
+                            out.at(i, j) += a_ik * b.at(k, j);
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+Matrix::syrkInto(Matrix &out, const Matrix &a)
+{
+    require(&out != &a, "syrkInto aliased output");
+    const std::size_t m = a.rows();
+    const std::size_t kk = a.cols();
+    out.resize(m, m);
+    for (std::size_t i0 = 0; i0 < m; i0 += kBlock) {
+        const std::size_t i1 = std::min(m, i0 + kBlock);
+        for (std::size_t j0 = 0; j0 <= i0; j0 += kBlock) {
+            const std::size_t j1 = std::min(m, j0 + kBlock);
+            for (std::size_t i = i0; i < i1; ++i) {
+                const std::size_t j_hi = std::min(j1, i + 1);
+                for (std::size_t j = j0; j < j_hi; ++j) {
+                    double acc = 0.0;
+                    for (std::size_t k = 0; k < kk; ++k)
+                        acc += a.at(i, k) * a.at(j, k);
+                    out.at(i, j) = acc;
+                    out.at(j, i) = acc;
+                }
+            }
+        }
+    }
+}
+
+void
+Matrix::gramInto(Matrix &out, const Matrix &a)
+{
+    require(&out != &a, "gramInto aliased output");
+    const std::size_t m = a.rows();
+    const std::size_t n = a.cols();
+    out.resize(n, n);
+    // out(i, j) = sum_k a(k, i) a(k, j) with k ascending — the same
+    // per-entry order as gram()'s column dots — accumulated in a
+    // register instead of staging the transpose or sweeping the
+    // output once per row. The EM loop calls this with very few rows
+    // (its per-chunk residual blocks), where the short dot products
+    // are far cheaper than m full passes over the n x n output.
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k < m; ++k)
+                acc += a.at(k, i) * a.at(k, j);
+            out.at(i, j) = acc;
+        }
+    }
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < i; ++j)
+            out.at(j, i) = out.at(i, j);
+}
+
 Matrix
 operator+(Matrix a, const Matrix &b)
 {
@@ -391,6 +542,34 @@ operator*(const Matrix &a, const Vector &x)
         out[r] = acc;
     }
     return out;
+}
+
+void
+symv(const Matrix &a, const Vector &x, Vector &y)
+{
+    const std::size_t n = a.rows();
+    require(a.cols() == n, "symv of non-square matrix");
+    require(x.size() == n, "symv dimension mismatch");
+    require(&x != &y, "symv aliased output");
+    y.resize(n);
+    // Single streaming pass over the lower triangle: row r supplies
+    // y[r]'s leading terms directly and scatters a(r, c) * x[r] onto
+    // every earlier y[c] via symmetry. For y[t] the additions land as
+    // [c < t ascending, diagonal, rows r > t ascending] — exactly the
+    // increasing-column order of the full matvec (y[t] is finalized
+    // by its own row before the first scatter arrives), so for a
+    // symmetric a the result is bitwise identical to it. Unlike the
+    // naive mirrored read a(c, r), every access here is contiguous.
+    for (std::size_t r = 0; r < n; ++r) {
+        const double xr = x[r];
+        double acc = 0.0;
+        for (std::size_t c = 0; c < r; ++c) {
+            const double arc = a.at(r, c);
+            acc += arc * x[c];
+            y[c] += arc * xr;
+        }
+        y[r] = acc + a.at(r, r) * xr;
+    }
 }
 
 } // namespace leo::linalg

@@ -136,6 +136,49 @@ class Matrix
     void fill(double value);
 
     /**
+     * Re-shape to rows x cols, zero-filled.
+     *
+     * A no-op when the shape already matches (contents preserved);
+     * otherwise reuses existing capacity where possible so workspace
+     * buffers re-shape without touching the heap.
+     */
+    void resize(std::size_t rows, std::size_t cols);
+
+    /**
+     * In-place axpy: this += scale * other (same shape).
+     *
+     * Bitwise identical to `*this += scale * other` without the
+     * temporary.
+     */
+    void addScaled(double scale, const Matrix &other);
+
+    /**
+     * In-place symmetric axpy from a lower triangle: treats `lower`
+     * as a symmetric matrix stored in its lower triangle (upper
+     * entries ignored) and adds scale * that matrix. Pairs with the
+     * mirror = false mode of Cholesky::inverseInto.
+     */
+    void addScaledSymmetric(double scale, const Matrix &lower);
+
+    /**
+     * Rank-1 update: this += scale * x y'.
+     *
+     * Each entry adds (x[i] * y[j]) * scale in one rounding step —
+     * bitwise identical to `*this += scale * outer(x, y)`.
+     */
+    void outerAddInto(double scale, const Vector &x, const Vector &y);
+
+    /**
+     * Gather the principal sub-matrix indexed by idx into `out`
+     * (re-shaped as needed) without allocating a fresh matrix.
+     */
+    void gatherInto(Matrix &out,
+                    const std::vector<std::size_t> &idx) const;
+
+    /** Write the transpose into `out` (re-shaped as needed). */
+    void transposeInto(Matrix &out) const;
+
+    /**
      * Cache-blocked matrix product a * b.
      *
      * Tiles all three loop dimensions; for every output entry the
@@ -177,6 +220,29 @@ class Matrix
      */
     static Matrix gram(const Matrix &a);
 
+    /**
+     * Into-buffer variant of multiply(): out = a * b, overwriting
+     * (and re-shaping) out. Bitwise identical to multiply(a, b); out
+     * must not alias a or b.
+     */
+    static void multiplyInto(Matrix &out, const Matrix &a,
+                             const Matrix &b);
+
+    /**
+     * Into-buffer variant of syrk(): out = a * a', overwriting out.
+     * Bitwise identical to syrk(a); out must not alias a.
+     */
+    static void syrkInto(Matrix &out, const Matrix &a);
+
+    /**
+     * Into-buffer variant of gram(): out = a' * a, overwriting out,
+     * without materializing a.transpose(). Accumulates the lower
+     * triangle as rank-1 row updates in row order — the same
+     * increasing-k order gram() uses, hence bitwise identical — then
+     * mirrors. out must not alias a.
+     */
+    static void gramInto(Matrix &out, const Matrix &a);
+
   private:
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;
@@ -195,6 +261,16 @@ Matrix operator*(double s, Matrix a);
 Matrix operator*(const Matrix &a, const Matrix &b);
 /** Matrix-vector product. */
 Vector operator*(const Matrix &a, const Vector &x);
+
+/**
+ * Symmetric matrix-vector product into a caller buffer: y = a x,
+ * reading only a's lower triangle (a(c, r) stands in for a(r, c)
+ * above the diagonal). For an exactly symmetric (or mirrored) a this
+ * is bitwise identical to operator*(a, x): each output component
+ * accumulates in increasing-column order. y is re-shaped as needed
+ * and must not alias x.
+ */
+void symv(const Matrix &a, const Vector &x, Vector &y);
 
 } // namespace leo::linalg
 

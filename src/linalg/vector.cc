@@ -158,6 +158,25 @@ Vector::fill(double value)
     std::fill(data_.begin(), data_.end(), value);
 }
 
+void
+Vector::resize(std::size_t n)
+{
+    if (n == data_.size())
+        return;
+    // assign() reuses capacity on both shrink and within-capacity
+    // growth, so workspace buffers re-shape without reallocating.
+    data_.assign(n, 0.0);
+}
+
+void
+Vector::addScaled(double scale, const Vector &other)
+{
+    require(size() == other.size(),
+            "Vector::addScaled dimension mismatch");
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        data_[i] += scale * other.data_[i];
+}
+
 bool
 Vector::allFinite() const
 {

@@ -116,6 +116,25 @@ class Vector
     /** Set every component to a constant. */
     void fill(double value);
 
+    /**
+     * Re-shape to n components, zero-filled.
+     *
+     * A no-op when the size already matches (contents preserved);
+     * shrinking or growing within existing capacity does not
+     * allocate, which is what lets workspace buffers change problem
+     * size without touching the heap.
+     */
+    void resize(std::size_t n);
+
+    /**
+     * In-place axpy: this += scale * other.
+     *
+     * Bitwise identical to `*this += scale * other` without the
+     * temporary (each component adds the product (other[i] * scale)
+     * in one rounding step either way).
+     */
+    void addScaled(double scale, const Vector &other);
+
     /** @return True iff all components are finite. */
     bool allFinite() const;
 

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Implementation of the Workspace buffer arena.
+ */
+
+#include "linalg/workspace.hh"
+
+namespace leo::linalg
+{
+
+Matrix &
+Workspace::matrix(const std::string &key, std::size_t rows,
+                  std::size_t cols)
+{
+    Matrix &m = matrices_[key];
+    if (m.rows() != rows || m.cols() != cols) {
+        m = Matrix(rows, cols, 0.0);
+        ++allocations_;
+    }
+    return m;
+}
+
+Vector &
+Workspace::vector(const std::string &key, std::size_t n)
+{
+    Vector &v = vectors_[key];
+    if (v.size() != n) {
+        v = Vector(n, 0.0);
+        ++allocations_;
+    }
+    return v;
+}
+
+std::vector<Vector> &
+Workspace::vectorArray(const std::string &key, std::size_t count,
+                       std::size_t n)
+{
+    std::vector<Vector> &a = arrays_[key];
+    const bool match = a.size() == count &&
+                       (count == 0 || a.front().size() == n);
+    if (!match) {
+        a.assign(count, Vector(n, 0.0));
+        ++allocations_;
+    }
+    return a;
+}
+
+void
+Workspace::clear()
+{
+    matrices_.clear();
+    vectors_.clear();
+    arrays_.clear();
+}
+
+} // namespace leo::linalg

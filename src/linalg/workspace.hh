@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Reusable buffer arena for allocation-free hot loops.
+ *
+ * The EM fit (DESIGN.md "Hot-loop memory discipline") acquires every
+ * per-iteration temporary from a Workspace before entering its
+ * iteration loop. A buffer is keyed by name and shape: asking again
+ * with the same key and shape returns the existing storage untouched,
+ * so a loop that acquires its buffers up front never allocates while
+ * iterating, and a caller that keeps the Workspace alive across fits
+ * pays the allocation cost only once.
+ */
+
+#ifndef LEO_LINALG_WORKSPACE_HH
+#define LEO_LINALG_WORKSPACE_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hh"
+#include "linalg/vector.hh"
+
+namespace leo::linalg
+{
+
+/**
+ * A named arena of Matrix / Vector buffers keyed by shape.
+ *
+ * Ownership rules:
+ *  - The arena owns every buffer; references stay valid until the
+ *    buffer is re-shaped (same key, different shape) or clear() runs.
+ *    The node-based map guarantees that acquiring new buffers never
+ *    moves existing ones.
+ *  - Re-acquiring a key with the *same* shape returns the buffer with
+ *    its previous contents intact — callers must overwrite what they
+ *    read, and get cross-call reuse (warm refits) for free.
+ *  - Re-acquiring a key with a *different* shape discards the old
+ *    contents and counts as a new allocation.
+ *  - Not thread-safe: one fit (or one owner) at a time. Concurrent
+ *    fits each take their own Workspace.
+ */
+class Workspace
+{
+  public:
+    /**
+     * Acquire (or reuse) a rows x cols matrix buffer.
+     *
+     * A newly created or re-shaped buffer is zero-filled; a reused
+     * one keeps its previous contents.
+     */
+    Matrix &matrix(const std::string &key, std::size_t rows,
+                   std::size_t cols);
+
+    /** Acquire (or reuse) an n-component vector buffer. */
+    Vector &vector(const std::string &key, std::size_t n);
+
+    /**
+     * Acquire (or reuse) an array of count vectors of size n each
+     * (e.g. one posterior-mean row per prior application).
+     */
+    std::vector<Vector> &vectorArray(const std::string &key,
+                                     std::size_t count, std::size_t n);
+
+    /**
+     * @return Number of buffer (re-)creations so far. Stable across
+     *         calls that only reuse buffers — the allocation-free
+     *         property the estimator tests assert.
+     */
+    std::size_t allocations() const { return allocations_; }
+
+    /** @return Number of live buffers (all three kinds). */
+    std::size_t buffers() const
+    {
+        return matrices_.size() + vectors_.size() + arrays_.size();
+    }
+
+    /** Drop every buffer (references become dangling). */
+    void clear();
+
+  private:
+    std::map<std::string, Matrix> matrices_;
+    std::map<std::string, Vector> vectors_;
+    std::map<std::string, std::vector<Vector>> arrays_;
+    std::size_t allocations_ = 0;
+};
+
+} // namespace leo::linalg
+
+#endif // LEO_LINALG_WORKSPACE_HH

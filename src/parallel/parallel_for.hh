@@ -41,6 +41,7 @@
 #include <utility>
 #include <vector>
 
+#include "linalg/error.hh"
 #include "parallel/thread_pool.hh"
 
 namespace leo::parallel
@@ -203,6 +204,55 @@ parallelReduce(ThreadPool &pool, std::size_t n, std::size_t grain,
             });
     }
     return std::move(*parts[0]);
+}
+
+/**
+ * Buffer-reusing variant of parallelReduce for hot loops.
+ *
+ * The caller owns one partial per chunk and passes them as pointers
+ * (parts.size() must equal chunkCount(n, grain)); mapInto(begin, end,
+ * part) overwrites each partial in place, and the same fixed
+ * stride-doubling tree as parallelReduce folds them with
+ * combine(into, from). The result lands in *parts[0]. Because the
+ * chunk layout and combine topology match parallelReduce exactly,
+ * the two produce bitwise-identical results — this one just never
+ * touches the heap for the partials.
+ *
+ * @param pool    Pool to fan across (0 workers = inline, same tree).
+ * @param n       Number of items; must be positive.
+ * @param grain   Items per leaf chunk (0 treated as 1).
+ * @param parts   One pre-allocated partial per chunk.
+ * @param mapInto Callable (begin, end, T &part); must overwrite part.
+ * @param combine Callable (T &into, const T &from).
+ */
+template <typename T, typename MapInto, typename Combine>
+void
+parallelReduceInto(ThreadPool &pool, std::size_t n, std::size_t grain,
+                   const std::vector<T *> &parts, MapInto &&mapInto,
+                   Combine &&combine)
+{
+    if (grain == 0)
+        grain = 1;
+    const std::size_t chunks = chunkCount(n, grain);
+    require(parts.size() == chunks,
+            "parallelReduceInto: parts/chunk count mismatch");
+    parallelForChunked(
+        pool, chunks, 1, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t c = begin; c < end; ++c)
+                mapInto(c * grain, std::min(n, (c + 1) * grain),
+                        *parts[c]);
+        });
+    for (std::size_t stride = 1; stride < chunks; stride *= 2) {
+        const std::size_t pairs =
+            (chunks + stride - 1) / (2 * stride);
+        parallelForChunked(
+            pool, pairs, 1, [&](std::size_t begin, std::size_t end) {
+                for (std::size_t p = begin; p < end; ++p) {
+                    const std::size_t i = p * 2 * stride;
+                    combine(*parts[i], *parts[i + stride]);
+                }
+            });
+    }
 }
 
 } // namespace leo::parallel

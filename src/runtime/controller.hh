@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "estimators/estimator.hh"
+#include "estimators/leo.hh"
+#include "linalg/workspace.hh"
 #include "optimizer/pareto.hh"
 #include "stats/rng.hh"
 #include "telemetry/measurement.hh"
@@ -143,6 +145,13 @@ class EnergyController
 
     linalg::Vector perf_;
     linalg::Vector power_;
+    /** Scratch arena reused across LEO (re)fits. */
+    linalg::Workspace fit_ws_;
+    /** Previous LEO fits: drift-triggered re-estimations warm-start
+     *  EM from these instead of the cold init. */
+    estimators::LeoFit perf_fit_;
+    estimators::LeoFit power_fit_;
+    bool have_fits_ = false;
     /** Per-configuration EWMA of measured rates (drift reference). */
     std::unordered_map<std::size_t, double> history_;
     std::vector<optimizer::TradeoffPoint> frontier_;

@@ -85,6 +85,42 @@ GaussianPosterior conditionOnObservations(
     const std::vector<std::size_t> &obs_idx, const linalg::Vector &y_obs,
     double noise_var, bool want_cov = true);
 
+/**
+ * Reusable scratch for conditionOnObservationsInto.
+ *
+ * One instance per recurring call site; after the first call with a
+ * given (n, |obs|) shape — or an up-front reserve() — subsequent
+ * calls are allocation-free.
+ */
+struct ConditioningScratch
+{
+    /** Pre-size every buffer for an n-dim prior and s observations. */
+    void reserve(std::size_t n, std::size_t s);
+
+    linalg::Matrix k;          ///< Sigma[obs, obs] + sigma^2 I (s x s).
+    linalg::Matrix crossT;     ///< Sigma[obs, :] (s x n).
+    linalg::Matrix kinvCrossT; ///< K^-1 Sigma[obs, :] (s x n).
+    linalg::Vector r;          ///< Residual y_obs - mu[obs] (s).
+    linalg::Vector alpha;      ///< K^-1 r (s).
+    linalg::Cholesky chol;     ///< Factor of k.
+};
+
+/**
+ * Allocation-free variant of conditionOnObservations.
+ *
+ * Writes the posterior into `post` (whose buffers are reused when
+ * shapes match) using `scratch` for every temporary. Requires an
+ * *exactly* symmetric sigma_m — the cross covariance is read from
+ * rows Sigma[obs, :] instead of columns Sigma[:, obs] so both
+ * operands stream contiguously — under which the result is bitwise
+ * identical to conditionOnObservations.
+ */
+void conditionOnObservationsInto(
+    GaussianPosterior &post, ConditioningScratch &scratch,
+    const linalg::Vector &mu, const linalg::Matrix &sigma_m,
+    const std::vector<std::size_t> &obs_idx, const linalg::Vector &y_obs,
+    double noise_var, bool want_cov = true);
+
 } // namespace leo::stats
 
 #endif // LEO_STATS_MVN_HH

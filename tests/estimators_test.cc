@@ -4,6 +4,10 @@
  * Online (polynomial regression) and Offline (prior mean).
  */
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include <gtest/gtest.h>
 
 #include "estimators/batch.hh"
@@ -12,12 +16,42 @@
 #include "estimators/offline.hh"
 #include "estimators/online.hh"
 #include "linalg/error.hh"
+#include "linalg/workspace.hh"
 #include "platform/config_space.hh"
 #include "stats/metrics.hh"
 #include "stats/mvn.hh"
 #include "telemetry/sampler.hh"
 #include "workloads/ground_truth.hh"
 #include "workloads/suite.hh"
+
+/**
+ * Allocation instrumentation for the hot-loop tests: every operator
+ * new in this binary bumps a counter (operator new[] funnels through
+ * operator new by default), which LeoFit::loopAllocations reads via
+ * the estimators::setAllocationCounter hook.
+ */
+static std::atomic<std::size_t> g_heap_allocs{0};
+
+void *
+operator new(std::size_t size)
+{
+    g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
 
 using namespace leo;
 using linalg::Matrix;
@@ -579,4 +613,252 @@ TEST(EstimatorBatch, MatchesIndividualFitsExactly)
         expectExactlyEqual(batched[i].values, solo.values, "batch");
         EXPECT_EQ(batched[i].iterations, solo.iterations);
     }
+}
+
+// ------------------------------------------- Hot-loop memory discipline
+
+namespace
+{
+
+/** Reads the operator-new counter defined at the top of this file. */
+std::size_t
+heapAllocCount()
+{
+    return g_heap_allocs.load(std::memory_order_relaxed);
+}
+
+/** Exact equality on every field of two fits. */
+void
+expectFitsExactlyEqual(const estimators::LeoFit &a,
+                       const estimators::LeoFit &b,
+                       const std::string &what)
+{
+    expectExactlyEqual(a.prediction, b.prediction, what + ".prediction");
+    expectExactlyEqual(a.predictionVariance, b.predictionVariance,
+                       what + ".predictionVariance");
+    expectExactlyEqual(a.mu, b.mu, what + ".mu");
+    EXPECT_EQ(a.sigma2, b.sigma2) << what;
+    EXPECT_EQ(a.iterations, b.iterations) << what;
+    EXPECT_EQ(a.converged, b.converged) << what;
+    ASSERT_EQ(a.logLikelihoodTrace.size(), b.logLikelihoodTrace.size())
+        << what;
+    for (std::size_t i = 0; i < a.logLikelihoodTrace.size(); ++i)
+        EXPECT_EQ(a.logLikelihoodTrace[i], b.logLikelihoodTrace[i])
+            << what << ".trace[" << i << "]";
+    ASSERT_EQ(a.sigma.rows(), b.sigma.rows()) << what;
+    for (std::size_t r = 0; r < a.sigma.rows(); ++r)
+        for (std::size_t c = 0; c < a.sigma.cols(); ++c)
+            ASSERT_EQ(a.sigma.at(r, c), b.sigma.at(r, c))
+                << what << ".sigma(" << r << "," << c << ")";
+}
+
+/** A fixed-seed fit problem shared by the hot-loop tests. */
+struct FitProblem
+{
+    std::vector<Vector> prior;
+    std::vector<std::size_t> idx;
+    Vector vals;
+};
+
+FitProblem
+makeFitProblem(std::size_t n_obs)
+{
+    CoreOnlyWorld w;
+    FitProblem p;
+    p.prior = w.priorPerf("kmeans");
+    workloads::ApplicationModel app(
+        workloads::profileByName("kmeans"), w.machine);
+    telemetry::Profiler prof(w.monitor, w.meter);
+    telemetry::RandomSampler pol;
+    auto obs = prof.sample(app, w.space, pol, n_obs, w.rng);
+    p.idx = obs.indices;
+    p.vals = obs.performance;
+    return p;
+}
+
+} // namespace
+
+TEST(LeoHotLoop, WorkspacePathMatchesReferencePathBitwise)
+{
+    // The acceptance bar for the allocation-free loop: the workspace
+    // path is the *same computation* as the straightforward
+    // reference implementation — every field of the fit, bit for
+    // bit, with and without observations.
+    const FitProblem p = makeFitProblem(12);
+
+    estimators::LeoOptions oref;
+    oref.threads = 1;
+    oref.referencePath = true;
+    estimators::LeoOptions ows;
+    ows.threads = 1;
+    const estimators::LeoEstimator ref(oref), fast(ows);
+
+    linalg::Workspace ws;
+    expectFitsExactlyEqual(
+        fast.fitMetric(p.prior, p.idx, p.vals, &ws, nullptr),
+        ref.fitMetric(p.prior, p.idx, p.vals), "observed");
+
+    expectFitsExactlyEqual(
+        fast.fitMetric(p.prior, {}, Vector(0), &ws, nullptr),
+        ref.fitMetric(p.prior, {}, Vector(0)), "unobserved");
+}
+
+TEST(LeoHotLoop, WarmStartSameThetaMatchesAcrossPaths)
+{
+    // Warm starting only changes the EM initialization, so for the
+    // same warm theta the reference and workspace paths must still
+    // agree exactly.
+    const FitProblem p = makeFitProblem(12);
+
+    estimators::LeoOptions oref;
+    oref.threads = 1;
+    oref.referencePath = true;
+    estimators::LeoOptions ows;
+    ows.threads = 1;
+    const estimators::LeoEstimator ref(oref), fast(ows);
+
+    linalg::Workspace ws;
+    const estimators::LeoFit cold =
+        fast.fitMetric(p.prior, p.idx, p.vals, &ws, nullptr);
+    EXPECT_FALSE(cold.warmStarted);
+
+    const estimators::LeoFit warm_ws =
+        fast.fitMetric(p.prior, p.idx, p.vals, &ws, &cold);
+    EXPECT_TRUE(warm_ws.warmStarted);
+    expectFitsExactlyEqual(
+        warm_ws, ref.fitMetric(p.prior, p.idx, p.vals, nullptr, &cold),
+        "warm");
+
+    // An incompatible warm fit silently falls back to the cold init.
+    estimators::LeoFit bogus;
+    bogus.mu = Vector(3, 1.0);
+    bogus.sigma = Matrix(3, 3, 0.1);
+    bogus.sigma2 = 0.01;
+    const estimators::LeoFit fallback =
+        fast.fitMetric(p.prior, p.idx, p.vals, &ws, &bogus);
+    EXPECT_FALSE(fallback.warmStarted);
+    expectFitsExactlyEqual(fallback, cold, "fallback");
+}
+
+TEST(LeoHotLoop, WarmFitBitwiseIdenticalAcrossThreadCounts)
+{
+    // The PR-1 determinism guarantee extended to warm refits: same
+    // bits at 1, 2 and 8 threads.
+    const FitProblem p = makeFitProblem(12);
+    const estimators::LeoFit seed_fit = [&] {
+        estimators::LeoOptions o;
+        o.threads = 1;
+        return estimators::LeoEstimator(o).fitMetric(
+            p.prior, p.idx, p.vals);
+    }();
+
+    auto warm_fit = [&](std::size_t threads) {
+        estimators::LeoOptions o;
+        o.threads = threads;
+        o.maxIterations = 8;
+        linalg::Workspace ws;
+        return estimators::LeoEstimator(o).fitMetric(
+            p.prior, p.idx, p.vals, &ws, &seed_fit);
+    };
+
+    const estimators::LeoFit serial = warm_fit(1);
+    EXPECT_TRUE(serial.warmStarted);
+    expectFitsExactlyEqual(warm_fit(2), serial, "2 threads");
+    expectFitsExactlyEqual(warm_fit(8), serial, "8 threads");
+}
+
+TEST(LeoHotLoop, SerialIterationLoopIsAllocationFree)
+{
+    // The tentpole guarantee: once the workspace is bound, the EM
+    // iteration loop performs zero heap allocations — on a cold fit
+    // with a fresh arena (buffers are acquired in the prologue), on
+    // the warm refit reusing it, and with or without observations.
+    const FitProblem p = makeFitProblem(12);
+    estimators::LeoOptions o;
+    o.threads = 1; // pool fan-out posts tasks; the guarantee is serial
+    const estimators::LeoEstimator est(o);
+
+    estimators::setAllocationCounter(&heapAllocCount);
+    linalg::Workspace ws;
+    const estimators::LeoFit cold =
+        est.fitMetric(p.prior, p.idx, p.vals, &ws, nullptr);
+    const estimators::LeoFit warm =
+        est.fitMetric(p.prior, p.idx, p.vals, &ws, &cold);
+    const estimators::LeoFit no_obs =
+        est.fitMetric(p.prior, {}, Vector(0), &ws, nullptr);
+
+    // The reference path allocates every iteration, by design; its
+    // count doubles as a check that the hook actually measures.
+    estimators::LeoOptions oref = o;
+    oref.referencePath = true;
+    const estimators::LeoFit ref =
+        estimators::LeoEstimator(oref).fitMetric(p.prior, p.idx,
+                                                 p.vals);
+    estimators::setAllocationCounter(nullptr);
+
+    EXPECT_EQ(cold.loopAllocations, 0u);
+    EXPECT_EQ(warm.loopAllocations, 0u);
+    EXPECT_EQ(no_obs.loopAllocations, 0u);
+    EXPECT_GT(ref.loopAllocations, 100u);
+}
+
+TEST(LeoHotLoop, WarmRefitConvergesInFewerIterations)
+{
+    // The point of warm starting: an incremental refit (a few extra
+    // observations on the same target) resumes near the optimum.
+    const FitProblem p = makeFitProblem(16);
+    std::vector<std::size_t> idx8(p.idx.begin(), p.idx.begin() + 8);
+    Vector vals8(8);
+    for (std::size_t j = 0; j < 8; ++j)
+        vals8[j] = p.vals[j];
+
+    estimators::LeoOptions o;
+    o.threads = 1;
+    o.maxIterations = 8;
+    const estimators::LeoEstimator est(o);
+    linalg::Workspace ws;
+
+    const estimators::LeoFit first =
+        est.fitMetric(p.prior, idx8, vals8, &ws, nullptr);
+    const estimators::LeoFit cold =
+        est.fitMetric(p.prior, p.idx, p.vals, &ws, nullptr);
+    const estimators::LeoFit warm =
+        est.fitMetric(p.prior, p.idx, p.vals, &ws, &first);
+
+    EXPECT_TRUE(warm.warmStarted);
+    EXPECT_TRUE(warm.converged);
+    EXPECT_LE(warm.iterations, cold.iterations);
+}
+
+TEST(LeoHotLoop, BatchWarmStartMatchesDirectWarmFit)
+{
+    // EstimateRequest::warmStart/fitOut plumb the same machinery
+    // through the batch API.
+    const FitProblem p = makeFitProblem(12);
+    estimators::LeoOptions o;
+    o.threads = 1;
+    const estimators::LeoEstimator est(o);
+
+    const estimators::LeoFit seed_fit =
+        est.fitMetric(p.prior, p.idx, p.vals);
+
+    CoreOnlyWorld w;
+    parallel::ThreadPool pool(0);
+    estimators::EstimatorBatch batch(est, pool);
+    estimators::LeoFit batch_fit;
+    estimators::EstimateRequest req;
+    req.prior = p.prior;
+    req.obsIndices = p.idx;
+    req.obsValues = p.vals;
+    req.warmStart = &seed_fit;
+    req.fitOut = &batch_fit;
+    batch.add(std::move(req));
+    const auto results = batch.run(w.space);
+
+    const estimators::LeoFit direct =
+        est.fitMetric(p.prior, p.idx, p.vals, nullptr, &seed_fit);
+    ASSERT_EQ(results.size(), 1u);
+    expectExactlyEqual(results[0].values, direct.prediction,
+                       "batch warm prediction");
+    expectFitsExactlyEqual(batch_fit, direct, "batch fitOut");
 }

@@ -14,6 +14,7 @@
 #include "linalg/poly_features.hh"
 #include "linalg/simplex.hh"
 #include "linalg/vector.hh"
+#include "linalg/workspace.hh"
 #include "stats/rng.hh"
 
 using namespace leo;
@@ -586,4 +587,282 @@ TEST(BlockedKernels, GramIsOrderedSumOfRowOuterProducts)
         expect += Matrix::outer(row, row);
     }
     expectBitwiseEqual(Matrix::gram(r), expect, "gram-as-outer-sum");
+}
+
+// ------------------------------------------------- Into-variant kernels
+//
+// The allocation-free EM loop substitutes every allocating kernel
+// with an into-buffer variant; each substitution must be exact — 0
+// ULP — or the workspace path would diverge from the reference path.
+// Every test below also re-runs into the *same dirty buffers* to
+// prove stale workspace contents cannot leak into a result.
+
+namespace
+{
+
+/** Random SPD matrix a = b b' + n I with wide dynamic range. */
+Matrix
+randomSpd(std::size_t n, stats::Rng &rng)
+{
+    Matrix b(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            b.at(i, j) = rng.gaussian();
+    Matrix a = Matrix::syrk(b);
+    a.addToDiagonal(static_cast<double>(n));
+    return a;
+}
+
+/** The EM-relevant dimensions: trivial, prime, one tile, many tiles. */
+const std::size_t kSpdSizes[] = {1, 7, 64, 130};
+
+} // namespace
+
+TEST(Workspace, ReusesBuffersByKeyAndShape)
+{
+    linalg::Workspace ws;
+    Matrix &a = ws.matrix("a", 3, 4);
+    a.at(1, 2) = 42.0;
+    EXPECT_EQ(ws.allocations(), 1u);
+
+    // Same key + shape: same buffer, contents untouched.
+    Matrix &a2 = ws.matrix("a", 3, 4);
+    EXPECT_EQ(&a, &a2);
+    EXPECT_DOUBLE_EQ(a2.at(1, 2), 42.0);
+    EXPECT_EQ(ws.allocations(), 1u);
+
+    // Shape change on the same key counts as a fresh allocation.
+    Matrix &a3 = ws.matrix("a", 5, 5);
+    EXPECT_EQ(a3.rows(), 5u);
+    EXPECT_EQ(ws.allocations(), 2u);
+
+    ws.vector("v", 9);
+    ws.vectorArray("arr", 3, 8);
+    EXPECT_EQ(ws.buffers(), 3u);
+    EXPECT_EQ(ws.allocations(), 4u);
+
+    std::vector<Vector> &arr = ws.vectorArray("arr", 3, 8);
+    EXPECT_EQ(arr.size(), 3u);
+    EXPECT_EQ(ws.allocations(), 4u);
+}
+
+TEST(IntoKernels, MultiplyIntoMatchesMultiplyToZeroUlp)
+{
+    stats::Rng rng(3111);
+    linalg::Workspace ws;
+    Matrix &out = ws.matrix("out", 1, 1);
+    for (const auto &shape : kShapes) {
+        const Matrix a = randomMatrix(shape[0], shape[1], rng);
+        const Matrix b = randomMatrix(shape[1], shape[2], rng);
+        // Reuse the same (dirty, reshaped) buffer every iteration.
+        Matrix::multiplyInto(out, a, b);
+        expectBitwiseEqual(out, Matrix::multiply(a, b),
+                           "multiplyInto " + std::to_string(shape[0]) +
+                               "x" + std::to_string(shape[1]) + "x" +
+                               std::to_string(shape[2]));
+    }
+}
+
+TEST(IntoKernels, SyrkIntoAndGramIntoMatchToZeroUlp)
+{
+    stats::Rng rng(3222);
+    Matrix s_out, g_out;
+    for (const auto &shape : kShapes) {
+        const Matrix a = randomMatrix(shape[0], shape[1], rng);
+        Matrix::syrkInto(s_out, a);
+        expectBitwiseEqual(s_out, Matrix::syrk(a),
+                           "syrkInto " + std::to_string(shape[0]) + "x" +
+                               std::to_string(shape[1]));
+        Matrix::gramInto(g_out, a);
+        expectBitwiseEqual(g_out, Matrix::gram(a),
+                           "gramInto " + std::to_string(shape[0]) + "x" +
+                               std::to_string(shape[1]));
+    }
+}
+
+TEST(IntoKernels, GatherTransposeAndAxpyVariantsMatchToZeroUlp)
+{
+    stats::Rng rng(3333);
+    const Matrix a = randomMatrix(67, 67, rng);
+    const std::vector<std::size_t> idx = {0, 3, 5, 17, 64, 66};
+
+    Matrix out;
+    a.gatherInto(out, idx);
+    expectBitwiseEqual(out, a.gather(idx), "gatherInto");
+
+    a.transposeInto(out);
+    expectBitwiseEqual(out, a.transpose(), "transposeInto");
+
+    const Matrix b = randomMatrix(67, 67, rng);
+    Matrix sum = a;
+    sum.addScaled(-3.5, b);
+    Matrix expect = a;
+    expect += -3.5 * b;
+    expectBitwiseEqual(sum, expect, "addScaled");
+
+    Vector x(67), y(67);
+    for (std::size_t i = 0; i < 67; ++i) {
+        x[i] = rng.gaussian();
+        y[i] = rng.gaussian();
+    }
+    sum = a;
+    sum.outerAddInto(2.25, x, y);
+    expect = a;
+    expect += 2.25 * Matrix::outer(x, y);
+    expectBitwiseEqual(sum, expect, "outerAddInto");
+
+    Vector vs = x;
+    vs.addScaled(0.75, y);
+    const Vector vexpect = x + 0.75 * y;
+    for (std::size_t i = 0; i < 67; ++i)
+        ASSERT_EQ(vs[i], vexpect[i]) << "Vector::addScaled at " << i;
+}
+
+TEST(IntoKernels, SymvAndSymmetricAxpyReadOnlyLowerTriangle)
+{
+    stats::Rng rng(3444);
+    for (std::size_t n : kSpdSizes) {
+        const Matrix a = randomSpd(n, rng);
+        // Poison the strict upper triangle: symmetry-aware consumers
+        // must never read it.
+        Matrix lower = a;
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = i + 1; j < n; ++j)
+                lower.at(i, j) = std::nan("");
+
+        Vector x(n);
+        for (std::size_t i = 0; i < n; ++i)
+            x[i] = rng.gaussian();
+        Vector y;
+        linalg::symv(lower, x, y);
+        const Vector expect = a * x;
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(y[i], expect[i]) << "symv n=" << n << " at " << i;
+
+        Matrix sum = randomMatrix(n, n, rng);
+        Matrix full_expect = sum;
+        sum.addScaledSymmetric(-1.75, lower);
+        full_expect += -1.75 * a;
+        expectBitwiseEqual(sum, full_expect,
+                           "addScaledSymmetric n=" + std::to_string(n));
+    }
+}
+
+TEST(IntoKernels, FactorizeMatchesConstructorToZeroUlp)
+{
+    stats::Rng rng(3555);
+    linalg::Cholesky incremental;
+    for (std::size_t n : kSpdSizes) {
+        const Matrix sigma = randomSpd(n, rng);
+        const double added = 0.037;
+
+        Matrix a = sigma;
+        a.addToDiagonal(added);
+        const linalg::Cholesky reference(a, 1e-6);
+
+        // Reuses the factor storage left over from the previous
+        // (different-sized) problem.
+        incremental.reserve(n);
+        incremental.factorize(sigma, added, 1e-6);
+        expectBitwiseEqual(incremental.factor(), reference.factor(),
+                           "factorize n=" + std::to_string(n));
+        EXPECT_EQ(incremental.jitterUsed(), reference.jitterUsed());
+    }
+}
+
+TEST(IntoKernels, FactorizeAppliesJitterScheduleLikeConstructor)
+{
+    // Singular PSD input: both paths must land on the same jitter.
+    Matrix a{{1.0, 1.0}, {1.0, 1.0}};
+    const linalg::Cholesky reference(a, 1e-4);
+    linalg::Cholesky incremental;
+    incremental.factorize(a, 0.0, 1e-4);
+    EXPECT_EQ(incremental.jitterUsed(), reference.jitterUsed());
+    expectBitwiseEqual(incremental.factor(), reference.factor(),
+                       "jittered factor");
+    // And an outright non-PSD input still fails.
+    Matrix bad{{1.0, 2.0}, {2.0, 1.0}};
+    EXPECT_THROW(incremental.factorize(bad, 0.0, 1e-6), FatalError);
+}
+
+TEST(IntoKernels, InverseIntoMatchesInverseToZeroUlp)
+{
+    stats::Rng rng(3666);
+    linalg::Workspace ws;
+    Matrix inv_buf;
+    for (std::size_t n : kSpdSizes) {
+        const Matrix a = randomSpd(n, rng);
+        const linalg::Cholesky chol(a, 1e-6);
+        const Matrix reference = chol.inverse();
+
+        chol.inverseInto(inv_buf, ws, /*mirror=*/true);
+        expectBitwiseEqual(inv_buf, reference,
+                           "inverseInto n=" + std::to_string(n));
+
+        // mirror = false must still produce the exact lower triangle
+        // (the upper is unspecified).
+        chol.inverseInto(inv_buf, ws, /*mirror=*/false);
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = 0; j <= i; ++j)
+                ASSERT_EQ(inv_buf.at(i, j), reference.at(i, j))
+                    << "lower-only inverseInto n=" << n;
+    }
+}
+
+TEST(IntoKernels, InPlaceSolvesMatchAllocatingSolvesToZeroUlp)
+{
+    stats::Rng rng(3777);
+    for (std::size_t n : kSpdSizes) {
+        const Matrix a = randomSpd(n, rng);
+        const linalg::Cholesky chol(a, 1e-6);
+
+        Vector b(n);
+        for (std::size_t i = 0; i < n; ++i)
+            b[i] = rng.gaussian();
+
+        Vector x = b;
+        chol.solveInPlace(x);
+        const Vector expect = chol.solve(b);
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(x[i], expect[i]) << "solveInPlace n=" << n;
+
+        Vector y = b;
+        chol.solveLowerInPlace(y);
+        const Vector lexpect = chol.solveLower(b);
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_EQ(y[i], lexpect[i]) << "solveLowerInPlace n=" << n;
+
+        const Matrix rhs = randomMatrix(n, 3, rng);
+        Matrix xm = rhs;
+        chol.solveInPlace(xm);
+        expectBitwiseEqual(xm, chol.solve(rhs),
+                           "matrix solveInPlace n=" + std::to_string(n));
+    }
+}
+
+TEST(IntoKernels, LargeProblemMatchesNaiveKernelsToZeroUlp)
+{
+    // One EM-scale problem (n ~ 1024, off the tile grid) exercising
+    // the full factor -> invert pipeline against the naive kernels.
+    stats::Rng rng(3888);
+    const std::size_t n = 1030;
+    Matrix b(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            b.at(i, j) = rng.gaussian();
+    Matrix a = Matrix::syrk(b);
+    a.addToDiagonal(static_cast<double>(n));
+
+    const linalg::Cholesky reference(a, 1e-6);
+    linalg::Cholesky blocked;
+    blocked.reserve(n);
+    blocked.factorize(a, 0.0, 1e-6);
+    expectBitwiseEqual(blocked.factor(), reference.factor(),
+                       "blocked factor n=1030");
+
+    linalg::Workspace ws;
+    Matrix inv_buf;
+    blocked.inverseInto(inv_buf, ws, /*mirror=*/true);
+    expectBitwiseEqual(inv_buf, reference.inverse(),
+                       "inverseInto n=1030");
 }

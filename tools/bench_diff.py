@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and fail on regressions.
+
+Usage: tools/bench_diff.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+
+Both files are the BENCH_leo.json format that bench/overhead_leo
+always emits (google-benchmark ``--benchmark_out_format=json``). The
+script pairs benchmarks by name, prints a per-row delta table, and
+exits non-zero if any benchmark present in both files got slower than
+the baseline by more than the threshold (default 10%).
+
+Aggregate rows (``_mean``/``_median``/``_stddev``/``_cv``) are
+preferred over raw repetition rows when present: if a benchmark was
+run with ``--benchmark_repetitions``, only its ``_median`` row is
+compared; otherwise the single raw row is used. Rows present in only
+one file are reported but never fail the run, so adding or removing
+benchmarks does not break CI.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rows(path):
+    """Return {name: real_time_ms} for the comparable rows of a file."""
+    with open(path) as f:
+        data = json.load(f)
+    benchmarks = data.get("benchmarks", [])
+    raw = {}
+    medians = {}
+    for b in benchmarks:
+        name = b.get("name", "")
+        # Normalize everything to milliseconds.
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}.get(unit)
+        if scale is None or "real_time" not in b:
+            continue
+        t = b["real_time"] * scale
+        agg = b.get("aggregate_name", "")
+        if agg == "median":
+            medians[name.rsplit("_median", 1)[0]] = t
+        elif agg:
+            continue
+        else:
+            raw[name] = t
+    # Median rows shadow their raw repetitions.
+    raw.update(medians)
+    return raw
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="Fail if CANDIDATE regresses vs BASELINE")
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="allowed slowdown fraction (default 0.10)")
+    args = ap.parse_args(argv)
+
+    base = load_rows(args.baseline)
+    cand = load_rows(args.candidate)
+
+    width = max([len(n) for n in set(base) | set(cand)] + [9])
+    print(f"{'benchmark':<{width}}  {'base ms':>10}  {'cand ms':>10}"
+          f"  {'delta':>8}")
+    regressions = []
+    for name in sorted(set(base) | set(cand)):
+        b = base.get(name)
+        c = cand.get(name)
+        if b is None or c is None:
+            only = "candidate only" if b is None else "baseline only"
+            print(f"{name:<{width}}  {'-' if b is None else f'{b:10.2f}'}"
+                  f"  {'-' if c is None else f'{c:10.2f}'}  ({only})")
+            continue
+        delta = (c - b) / b if b > 0 else 0.0
+        flag = "  << REGRESSION" if delta > args.threshold else ""
+        print(f"{name:<{width}}  {b:10.2f}  {c:10.2f}  {delta:+7.1%}"
+              f"{flag}")
+        if delta > args.threshold:
+            regressions.append((name, delta))
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) slower than "
+              f"baseline by more than {args.threshold:.0%}:",
+              file=sys.stderr)
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1%}", file=sys.stderr)
+        return 1
+    print(f"\nOK: no benchmark regressed by more than "
+          f"{args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
