@@ -19,6 +19,10 @@ leo_add_bench(fig12_sensitivity)
 leo_add_bench(fig13_phases)
 leo_add_bench(tab01_phase_energy)
 
+# Robustness fault sweep (repository addition, DESIGN.md section 8).
+leo_add_bench(tab02_fault_sweep)
+target_link_libraries(tab02_fault_sweep PRIVATE leo_faults)
+
 # Section 6.7 overhead microbenchmark (google-benchmark).
 leo_add_bench(overhead_leo)
 target_link_libraries(overhead_leo PRIVATE benchmark::benchmark)

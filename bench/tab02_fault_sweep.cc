@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Table 2 (this repository's addition): robustness fault sweep.
+ *
+ * Not a paper table — the LEO paper assumes clean telemetry. This
+ * bench quantifies the hardened pipeline of DESIGN.md section 8: for
+ * each fault scenario the probe observations are corrupted, LEO fits
+ * through the sanitizer, and the resulting plan runs under the
+ * deadline guard against the ground truth. Reported per scenario:
+ * samples rejected by the sanitizer, the fit's mean absolute
+ * performance error, guarded energy relative to the true-optimal
+ * plan, and the deadline-met rate. The zero-fault row is the
+ * baseline: it must match the unhardened pipeline bit for bit
+ * (asserted in tests/robustness_test.cc).
+ */
+
+#include "bench_common.hh"
+
+#include "faults/faults.hh"
+#include "optimizer/schedule.hh"
+
+using namespace leo;
+
+namespace
+{
+
+struct NamedScenario
+{
+    const char *name;
+    faults::FaultScenario scenario;
+};
+
+std::vector<NamedScenario>
+sweep()
+{
+    using faults::FaultScenario;
+    std::vector<NamedScenario> rows;
+    rows.push_back({"none", FaultScenario::none()});
+    FaultScenario s;
+    s.nanProb = 0.15;
+    rows.push_back({"nan 15%", s});
+    s = FaultScenario{};
+    s.infProb = 0.15;
+    rows.push_back({"inf 15%", s});
+    s = FaultScenario{};
+    s.dropoutProb = 0.15;
+    rows.push_back({"dropout 15%", s});
+    s = FaultScenario{};
+    s.outlierProb = 0.15;
+    s.outlierScale = 25.0;
+    rows.push_back({"outlier 15%", s});
+    s = FaultScenario{};
+    s.staleProb = 0.25;
+    rows.push_back({"stale 25%", s});
+    s = FaultScenario{};
+    s.nanProb = 0.05;
+    s.infProb = 0.05;
+    s.dropoutProb = 0.05;
+    s.outlierProb = 0.05;
+    s.staleProb = 0.05;
+    rows.push_back({"mixed 5x5%", s});
+    return rows;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Table 2 — fault sweep (repository addition, DESIGN.md s.8)",
+        "none: sanitizer idle, energy == clean LEO; faulted rows: "
+        "all deadlines met, graceful energy cost");
+
+    bench::World w = bench::coreOnlyWorld();
+    workloads::ApplicationModel app(workloads::profileByName("x264"),
+                                    w.machine);
+    const auto prior = w.store.without("x264");
+    const auto gt = workloads::computeGroundTruth(app, w.space);
+    const double idle = w.machine.spec().idleSystemPowerW;
+
+    optimizer::PerformanceConstraint constraint;
+    constraint.deadlineSeconds = 10.0;
+    constraint.work = 0.5 * gt.performance.max() * 10.0;
+    const auto optimal = optimizer::planMinimalEnergy(
+        gt.performance, gt.power, idle, constraint);
+    const auto optimal_run = optimizer::executeScheduleGuarded(
+        optimal, gt.performance, gt.power, idle, constraint);
+
+    const std::size_t probes = 20;
+    const std::size_t reps = bench::trials(5);
+    const estimators::LeoEstimator leo;
+    const telemetry::RandomSampler policy;
+    const telemetry::HeartbeatMonitor inner_monitor;
+    const telemetry::WattsUpMeter inner_meter;
+
+    experiments::TextTable t({"Scenario", "rejected", "perf-err%",
+                              "energy/optimal", "deadline-met"});
+    for (const NamedScenario &row : sweep()) {
+        double rejected = 0, err = 0, ratio = 0, met = 0;
+        for (std::size_t r = 0; r < reps; ++r) {
+            const faults::FaultyHeartbeatMonitor monitor(
+                inner_monitor, row.scenario);
+            const faults::FaultyPowerMeter meter(inner_meter,
+                                                 row.scenario);
+            stats::Rng rng(bench::seed() + r);
+            const telemetry::Profiler profiler(monitor, meter);
+            const auto obs = profiler.sample(app, w.space, policy,
+                                             probes, rng);
+            const estimators::EstimationInputs inputs{w.space, prior,
+                                                      obs};
+            const estimators::Estimate est = leo.estimate(inputs);
+            rejected += static_cast<double>(
+                est.performance.samplesRejected +
+                est.power.samplesRejected);
+            double e = 0;
+            for (std::size_t c = 0; c < w.space.size(); ++c) {
+                e += std::abs(est.performance.values[c] -
+                              gt.performance[c]) /
+                     gt.performance[c];
+            }
+            err += 100.0 * e / static_cast<double>(w.space.size());
+            const auto plan = optimizer::planMinimalEnergy(
+                est.performance.values, est.power.values, idle,
+                constraint);
+            const auto run = optimizer::executeScheduleGuarded(
+                plan, gt.performance, gt.power, idle, constraint);
+            ratio += run.energyJoules / optimal_run.energyJoules;
+            met += run.deadlineMet ? 1.0 : 0.0;
+        }
+        const double n = static_cast<double>(reps);
+        t.addRow({row.name, experiments::fmt(rejected / n),
+                  experiments::fmt(err / n),
+                  experiments::fmt(ratio / n),
+                  experiments::fmt(met / n)});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("\n%zu probes per trial (x2 metrics), %zu trials, "
+                "optimal guarded energy %.0f J\n",
+                probes, reps, optimal_run.energyJoules);
+    return 0;
+}

@@ -38,11 +38,15 @@ struct MetricEstimate
     /**
      * False when the estimator could not produce a statistically
      * meaningful fit (e.g. the online design matrix is rank deficient
-     * below 15 samples, Fig. 12).
+     * below 15 samples, Fig. 12) or had to fall back after a failed
+     * or degenerate fit (see DESIGN.md "Failure model").
      */
     bool reliable = true;
     /** Iterations used by iterative fitters (EM), 0 otherwise. */
     std::size_t iterations = 0;
+    /** Observations dropped by input sanitization (non-finite,
+     *  non-positive or out-of-range readings; see sanitize.hh). */
+    std::size_t samplesRejected = 0;
 };
 
 /** Estimates of both metrics. */

@@ -31,6 +31,7 @@
 
 #include "estimators/normalization.hh"
 #include "estimators/offline.hh"
+#include "estimators/sanitize.hh"
 #include "linalg/cholesky.hh"
 #include "linalg/error.hh"
 #include "parallel/parallel_for.hh"
@@ -110,22 +111,91 @@ LeoEstimator::estimateMetric(const platform::ConfigSpace &space,
     if (prior.empty()) {
         // No offline knowledge at all: degenerate to a flat guess at
         // the observed mean (flagged unreliable).
-        est.values = linalg::Vector(
-            space.size(), obs_vals.empty() ? 0.0 : obs_vals.mean());
+        double flat = 0.0;
+        for (double v : obs_vals)
+            if (std::isfinite(v) && v > 0.0)
+                flat = std::max(flat, v);
+        est.values = linalg::Vector(space.size(), flat);
         est.reliable = false;
         return est;
     }
     require(prior.front().size() == space.size(),
             "LeoEstimator: prior/space size mismatch");
-    LeoFit fit = fitMetric(prior, obs_idx, obs_vals, ws, warm);
-    est.iterations = fit.iterations;
-    est.reliable = true;
-    if (fit_out) {
-        *fit_out = std::move(fit);
-        est.values = fit_out->prediction;
-    } else {
-        est.values = std::move(fit.prediction);
+
+    // Sanitize the online observations so a faulted reading degrades
+    // the fit instead of crashing it (clean sets pass through with
+    // zero copies, keeping the fault-free path bitwise identical).
+    const SanitizedObservations clean =
+        sanitizeObservations(obs_idx, obs_vals, space.size());
+    const std::vector<std::size_t> &idx =
+        clean.modified ? clean.indices : obs_idx;
+    const linalg::Vector &vals = clean.modified ? clean.values : obs_vals;
+    est.samplesRejected = clean.rejected;
+
+    try {
+        LeoFit fit = fitMetric(prior, idx, vals, ws, warm);
+        if (fit.prediction.allFinite()) {
+            est.iterations = fit.iterations;
+            // Unreliable only when observations existed but none
+            // survived sanitization: the fit is then the bare prior
+            // shape with no anchoring to the target.
+            est.reliable = obs_idx.empty() || !idx.empty();
+            if (fit_out) {
+                *fit_out = std::move(fit);
+                est.values = fit_out->prediction;
+            } else {
+                est.values = std::move(fit.prediction);
+            }
+            return est;
+        }
+    } catch (const Error &) {
+        // Fall through to the ridge retry.
     }
+
+    // The EM fit failed (singular covariance even after the Cholesky
+    // jitter schedule) or went non-finite. Retry cold with a heavy
+    // NIW ridge — a deliberately over-regularized fit that trades
+    // statistical efficiency for existence (DESIGN.md "Failure model
+    // and degradation policy").
+    try {
+        LeoOptions ridge = options_;
+        ridge.hyperPsiScale =
+            std::max(options_.hyperPsiScale * 100.0, 1.0);
+        ridge.initSigma2 = std::max(options_.initSigma2, 1e-2);
+        ridge.threads = 1;
+        const LeoEstimator heavy(ridge);
+        LeoFit fit = heavy.fitMetric(prior, idx, vals, nullptr, nullptr);
+        if (fit.prediction.allFinite()) {
+            est.iterations = fit.iterations;
+            est.reliable = false;
+            if (fit_out) {
+                *fit_out = std::move(fit);
+                est.values = fit_out->prediction;
+            } else {
+                est.values = std::move(fit.prediction);
+            }
+            return est;
+        }
+    } catch (const Error &) {
+        // Fall through to the prior-mean fallback.
+    }
+
+    // Last resort: the prior mean shape, anchored to the observed
+    // scale when any observation survived. Always finite; never
+    // updates fit_out (the caller's warm state stays intact).
+    try {
+        linalg::Vector shape = OfflineEstimator::meanShape(prior);
+        if (!idx.empty()) {
+            const double at_obs = shape.gather(idx).mean();
+            if (at_obs > 0.0)
+                shape *= vals.mean() / at_obs;
+        }
+        est.values = std::move(shape);
+    } catch (const Error &) {
+        est.values = linalg::Vector(space.size(),
+                                    idx.empty() ? 0.0 : vals.mean());
+    }
+    est.reliable = false;
     return est;
 }
 

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "estimators/sanitize.hh"
 #include "linalg/error.hh"
 #include "linalg/least_squares.hh"
 #include "linalg/poly_features.hh"
@@ -31,8 +32,18 @@ OnlineEstimator::estimateMetric(
     MetricEstimate est;
     est.values = linalg::Vector(space.size(), 0.0);
 
-    if (obs_idx.empty()) {
-        // Nothing observed: no model at all.
+    // Sanitize first: corrupted telemetry (NaN/Inf/dropout readings,
+    // duplicated probe indices) must degrade the regression, not
+    // crash it.
+    const SanitizedObservations clean =
+        sanitizeObservations(obs_idx, obs_vals, space.size());
+    const std::vector<std::size_t> &oidx =
+        clean.modified ? clean.indices : obs_idx;
+    const linalg::Vector &ovals = clean.modified ? clean.values : obs_vals;
+    est.samplesRejected = clean.rejected;
+
+    if (oidx.empty()) {
+        // Nothing (usable) observed: no model at all.
         est.reliable = false;
         return est;
     }
@@ -41,40 +52,48 @@ OnlineEstimator::estimateMetric(
 
     // Build the design from the observed knob vectors.
     std::vector<linalg::Vector> rows;
-    rows.reserve(obs_idx.size());
-    for (std::size_t idx : obs_idx) {
-        require(idx < space.size(),
-                "OnlineEstimator: observation index out of range");
+    rows.reserve(oidx.size());
+    for (std::size_t idx : oidx)
         rows.push_back(space.knobs(idx));
-    }
-    if (obs_idx.size() < features.numFeatures()) {
+    if (oidx.size() < features.numFeatures()) {
         // Fewer samples than features: the design matrix is rank
         // deficient and the regression is meaningless — "effectively
         // 0 accuracy" below 15 samples (Fig. 12). Fall back to the
         // observed mean so downstream consumers still get numbers.
-        est.values.fill(obs_vals.mean());
+        est.values.fill(ovals.mean());
         est.reliable = false;
         return est;
     }
 
-    const linalg::Matrix design = features.designMatrix(rows);
-    const linalg::LeastSquaresResult fit =
-        linalg::leastSquares(design, obs_vals);
-    // Binary knobs (hyperthreading, memory controllers) make their
-    // squared columns *structurally* collinear, so the rank may sit
-    // below the feature count even with ample samples; the QR solver
-    // zeroes the dependent coefficients, and because the dependency
-    // holds at every configuration the predictions stay well defined.
+    try {
+        const linalg::Matrix design = features.designMatrix(rows);
+        const linalg::LeastSquaresResult fit =
+            linalg::leastSquares(design, ovals);
+        // Binary knobs (hyperthreading, memory controllers) make
+        // their squared columns *structurally* collinear, so the rank
+        // may sit below the feature count even with ample samples;
+        // the QR solver zeroes the dependent coefficients, and
+        // because the dependency holds at every configuration the
+        // predictions stay well defined.
 
-    for (std::size_t c = 0; c < space.size(); ++c) {
-        const double v =
-            linalg::dot(features.expand(space.knobs(c)),
-                        fit.coefficients);
-        // Physical quantities are non-negative; clamp the
-        // extrapolation tails.
-        est.values[c] = std::max(v, 0.0);
+        for (std::size_t c = 0; c < space.size(); ++c) {
+            const double v =
+                linalg::dot(features.expand(space.knobs(c)),
+                            fit.coefficients);
+            // Physical quantities are non-negative; clamp the
+            // extrapolation tails.
+            est.values[c] = std::max(v, 0.0);
+        }
+        if (est.values.allFinite()) {
+            est.reliable = true;
+            return est;
+        }
+    } catch (const Error &) {
+        // Degenerate solve: fall through to the observed-mean
+        // fallback below.
     }
-    est.reliable = true;
+    est.values.fill(ovals.mean());
+    est.reliable = false;
     return est;
 }
 

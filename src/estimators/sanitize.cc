@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Implementation of observation sanitization.
+ */
+
+#include "estimators/sanitize.hh"
+
+#include <cmath>
+
+#include "linalg/error.hh"
+
+namespace leo::estimators
+{
+
+namespace
+{
+
+/** A usable sample: in-range index, finite strictly-positive value. */
+bool
+sampleValid(std::size_t idx, double val, std::size_t space_size)
+{
+    return idx < space_size && std::isfinite(val) && val > 0.0;
+}
+
+} // namespace
+
+bool
+observationsClean(const std::vector<std::size_t> &idx,
+                  const linalg::Vector &vals, std::size_t space_size)
+{
+    if (idx.size() != vals.size())
+        return false;
+    for (std::size_t j = 0; j < idx.size(); ++j) {
+        if (!sampleValid(idx[j], vals[j], space_size))
+            return false;
+        for (std::size_t k = 0; k < j; ++k)
+            if (idx[k] == idx[j])
+                return false;
+    }
+    return true;
+}
+
+SanitizedObservations
+sanitizeObservations(const std::vector<std::size_t> &idx,
+                     const linalg::Vector &vals, std::size_t space_size)
+{
+    require(idx.size() == vals.size(),
+            "sanitizeObservations: index/value size mismatch");
+
+    SanitizedObservations out;
+    if (observationsClean(idx, vals, space_size))
+        return out; // modified stays false; caller uses its buffers.
+
+    out.modified = true;
+    // Per surviving index: sample count for the duplicate average.
+    std::vector<double> count;
+    out.indices.reserve(idx.size());
+    for (std::size_t j = 0; j < idx.size(); ++j) {
+        if (!sampleValid(idx[j], vals[j], space_size)) {
+            ++out.rejected;
+            continue;
+        }
+        std::size_t pos = out.indices.size();
+        for (std::size_t k = 0; k < out.indices.size(); ++k) {
+            if (out.indices[k] == idx[j]) {
+                pos = k;
+                break;
+            }
+        }
+        if (pos == out.indices.size()) {
+            out.indices.push_back(idx[j]);
+            out.values.push_back(vals[j]);
+            count.push_back(1.0);
+        } else {
+            // Running mean keeps the merge single-pass.
+            count[pos] += 1.0;
+            out.values[pos] += (vals[j] - out.values[pos]) / count[pos];
+            ++out.merged;
+        }
+    }
+    return out;
+}
+
+} // namespace leo::estimators

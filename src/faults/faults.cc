@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Implementation of the fault-injecting telemetry wrappers.
+ */
+
+#include "faults/faults.hh"
+
+#include <limits>
+
+#include "linalg/error.hh"
+
+namespace leo::faults
+{
+
+FaultInjector::FaultInjector(const FaultScenario &scenario)
+    : scenario_(scenario), rng_(scenario.seed)
+{
+    auto prob = [](double p) { return p >= 0.0 && p <= 1.0; };
+    require(prob(scenario_.nanProb) && prob(scenario_.infProb) &&
+                prob(scenario_.dropoutProb) &&
+                prob(scenario_.outlierProb) && prob(scenario_.staleProb),
+            "FaultInjector: probabilities must be in [0, 1]");
+    require(scenario_.nanProb + scenario_.infProb +
+                    scenario_.dropoutProb + scenario_.outlierProb +
+                    scenario_.staleProb <=
+                1.0 + 1e-12,
+            "FaultInjector: fault probabilities must sum to <= 1");
+}
+
+double
+FaultInjector::corrupt(double clean)
+{
+    ++readings_;
+    // One uniform draw per reading, partitioned across the fault
+    // classes: the draw count (and with it the fault stream's
+    // alignment) never depends on which faults fired earlier.
+    const double u = rng_.uniform();
+    double out = clean;
+    double edge = scenario_.nanProb;
+    if (u < edge) {
+        out = std::numeric_limits<double>::quiet_NaN();
+    } else if (u < (edge += scenario_.infProb)) {
+        out = std::numeric_limits<double>::infinity();
+    } else if (u < (edge += scenario_.dropoutProb)) {
+        out = 0.0;
+    } else if (u < (edge += scenario_.outlierProb)) {
+        out = clean * scenario_.outlierScale;
+    } else if (u < edge + scenario_.staleProb && have_last_) {
+        out = last_;
+    }
+    if (out != clean) // NaN compares unequal, so it counts too
+        ++faults_;
+    // A stuck sensor repeats what it last *reported*, corrupted or
+    // not — so stale runs can re-emit an earlier outlier.
+    last_ = out;
+    have_last_ = true;
+    return out;
+}
+
+FaultyPowerMeter::FaultyPowerMeter(const telemetry::PowerMeter &inner,
+                                   const FaultScenario &scenario)
+    : inner_(inner), injector_(scenario)
+{
+}
+
+double
+FaultyPowerMeter::read(const workloads::ApplicationModel &model,
+                       const platform::ResourceAssignment &ra,
+                       stats::Rng &rng) const
+{
+    return injector_.corrupt(inner_.read(model, ra, rng));
+}
+
+FaultyHeartbeatMonitor::FaultyHeartbeatMonitor(
+    const telemetry::HeartbeatMonitor &inner,
+    const FaultScenario &scenario)
+    : inner_(inner), injector_(scenario)
+{
+}
+
+double
+FaultyHeartbeatMonitor::measureRate(
+    const workloads::ApplicationModel &model,
+    const platform::ResourceAssignment &ra, stats::Rng &rng) const
+{
+    return injector_.corrupt(inner_.measureRate(model, ra, rng));
+}
+
+} // namespace leo::faults

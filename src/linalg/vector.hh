@@ -117,6 +117,17 @@ class Vector
     void fill(double value);
 
     /**
+     * Append one component (amortized O(1), like
+     * std::vector::push_back). This is what lets incremental
+     * consumers — Observations::push in particular — grow a vector
+     * across a sampling round in O(n) total instead of O(n^2).
+     */
+    void push_back(double value) { data_.push_back(value); }
+
+    /** Pre-allocate capacity for n components. */
+    void reserve(std::size_t n) { data_.reserve(n); }
+
+    /**
      * Re-shape to n components, zero-filled.
      *
      * A no-op when the size already matches (contents preserved);

@@ -132,7 +132,14 @@ planRaceToIdle(const linalg::Vector &performance,
             {race_cfg, constraint.deadlineSeconds});
         plan.predictedEnergy =
             power[race_cfg] * constraint.deadlineSeconds;
-        plan.feasible = false;
+        // An exactly-on-time run (busy == deadline, up to the same
+        // epsilon planMinimalEnergy uses for its feasibility check)
+        // is feasible — it just has no idle tail to append. Zero
+        // rate is only feasible when there is no work, matching
+        // planMinimalEnergy's target_rate <= fastest * (1 + eps).
+        plan.feasible =
+            (rate > 0.0 || constraint.work == 0.0) &&
+            busy <= constraint.deadlineSeconds * (1.0 + 1e-12);
         return plan;
     }
     plan.parts.push_back({race_cfg, busy});

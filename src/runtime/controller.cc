@@ -6,7 +6,10 @@
 #include "runtime/controller.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <exception>
 
+#include "estimators/offline.hh"
 #include "linalg/error.hh"
 
 namespace leo::runtime
@@ -50,6 +53,17 @@ EnergyController::nextConfig(stats::Rng &rng)
 void
 EnergyController::recordMeasurement(const telemetry::Sample &s)
 {
+    // Reject unusable telemetry up front: a non-finite or
+    // non-positive reading (a faulted sensor poll — see
+    // faults/faults.hh) must neither enter the fit nor advance the
+    // probe plan, so the pending configuration is simply re-probed.
+    if (s.configIndex >= space_.size() ||
+        !std::isfinite(s.heartbeatRate) || s.heartbeatRate <= 0.0 ||
+        !std::isfinite(s.powerWatts) || s.powerWatts <= 0.0) {
+        ++samples_rejected_;
+        return;
+    }
+
     // Track each configuration's own measurement history; it is the
     // drift reference in Controlling state.
     auto hist = history_.find(s.configIndex);
@@ -59,6 +73,14 @@ EnergyController::recordMeasurement(const telemetry::Sample &s)
             history_[s.configIndex] = s.heartbeatRate;
         else
             hist->second = 0.5 * (hist->second + s.heartbeatRate);
+        // Only a measurement of the pending probe advances the plan
+        // and enters the fit's observation set; anything else is
+        // out-of-band telemetry (it fed the history above) — an
+        // unsolicited sample must not skip a planned probe or
+        // mislabel the fit input.
+        if (probe_plan_.empty() ||
+            s.configIndex != probe_plan_[probe_next_])
+            return;
         observations_.push(s);
         ++probe_next_;
         if (probe_next_ >= probe_plan_.size()) {
@@ -67,6 +89,16 @@ EnergyController::recordMeasurement(const telemetry::Sample &s)
             state_ = State::Controlling;
         }
         return;
+    }
+
+    // Controlling on fallback estimates: count the window and, when
+    // the backoff expires, retry estimation with fresh probes.
+    if (fallback_remaining_ > 0) {
+        ++fallback_windows_;
+        if (--fallback_remaining_ == 0 && estimator_ != nullptr) {
+            beginSampling();
+            return;
+        }
     }
 
     // Controlling: track the measured rate and test for drift
@@ -95,15 +127,8 @@ EnergyController::recordMeasurement(const telemetry::Sample &s)
         estimator_ != nullptr) {
         // Phase change: the old observations and the measurement
         // history describe dead behaviour.
-        history_.clear();
-        observations_ = telemetry::Observations{};
-        probe_plan_.clear();
-        probe_next_ = 0;
-        drift_count_ = 0;
-        boost_ = 0;
-        have_avg_ = false;
         ++reestimations_;
-        state_ = State::Sampling;
+        beginSampling();
         return;
     }
 
@@ -127,12 +152,83 @@ EnergyController::setEstimates(linalg::Vector performance,
             "EnergyController: estimate size mismatch");
     perf_ = std::move(performance);
     power_ = std::move(power);
+    fallback_remaining_ = 0;
     replan();
     state_ = State::Controlling;
 }
 
 void
+EnergyController::beginSampling()
+{
+    history_.clear();
+    observations_ = telemetry::Observations{};
+    probe_plan_.clear();
+    probe_next_ = 0;
+    drift_count_ = 0;
+    boost_ = 0;
+    have_avg_ = false;
+    fallback_remaining_ = 0;
+    state_ = State::Sampling;
+}
+
+void
 EnergyController::fit()
+{
+    // No estimator throw escapes the controller: a failed or
+    // non-finite fit engages the degradation policy instead of
+    // crashing the control loop mid-flight.
+    try {
+        fitUnguarded();
+        if (perf_.size() == space_.size() &&
+            power_.size() == space_.size() && perf_.allFinite() &&
+            power_.allFinite()) {
+            fallback_remaining_ = 0;
+            return;
+        }
+    } catch (const std::exception &) {
+        // Fall through to the fallback policy.
+    }
+    ++fits_failed_;
+    fallbackEstimates();
+}
+
+void
+EnergyController::fallbackEstimates()
+{
+    // Fallback order (DESIGN.md "Failure model and degradation
+    // policy"): prior-mean estimates when an offline prior exists;
+    // otherwise clear the estimates so paceConfig() races the
+    // all-resources configuration (race-to-idle). Either way the
+    // backoff timer re-enters Sampling with fresh probes later.
+    bool have_fallback = false;
+    if (prior_.numApplications() > 0) {
+        try {
+            const estimators::OfflineEstimator offline;
+            estimators::MetricEstimate perf = offline.estimateMetric(
+                space_,
+                priorVectors(prior_, estimators::Metric::Performance),
+                observations_.indices, observations_.performance);
+            estimators::MetricEstimate power = offline.estimateMetric(
+                space_, priorVectors(prior_, estimators::Metric::Power),
+                observations_.indices, observations_.power);
+            if (perf.values.allFinite() && power.values.allFinite()) {
+                perf_ = std::move(perf.values);
+                power_ = std::move(power.values);
+                have_fallback = true;
+            }
+        } catch (const std::exception &) {
+            // Prior itself unusable; race to idle below.
+        }
+    }
+    if (!have_fallback) {
+        perf_ = linalg::Vector{};
+        power_ = linalg::Vector{};
+    }
+    fallback_remaining_ = options_.fallbackBackoffWindows;
+}
+
+void
+EnergyController::fitUnguarded()
 {
     if (estimator_ == nullptr)
         return;
@@ -155,6 +251,8 @@ EnergyController::fit()
             observations_.indices, observations_.power, &fit_ws_,
             have_fits_ ? &power_fit_ : nullptr, &power_fit_);
         have_fits_ = true;
+        samples_rejected_ +=
+            perf.samplesRejected + power.samplesRejected;
         perf_ = std::move(perf.values);
         power_ = std::move(power.values);
         return;
@@ -162,6 +260,8 @@ EnergyController::fit()
     const estimators::EstimationInputs inputs{space_, prior_,
                                               observations_};
     estimators::Estimate est = estimator_->estimate(inputs);
+    samples_rejected_ += est.performance.samplesRejected +
+                         est.power.samplesRejected;
     perf_ = std::move(est.performance.values);
     power_ = std::move(est.power.values);
 }
@@ -169,8 +269,13 @@ EnergyController::fit()
 void
 EnergyController::replan()
 {
-    if (!hasEstimates())
+    if (!hasEstimates()) {
+        // Race-to-idle degradation: with no estimates at all the
+        // frontier is unknown; paceConfig() then runs the final
+        // (all-resources) configuration.
+        frontier_.clear();
         return;
+    }
     // Pacing selects a single configuration per window (the slack is
     // idled out inside the window), so the candidate set is the full
     // Pareto frontier: unlike batch scheduling, pure selection can

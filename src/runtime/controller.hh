@@ -49,6 +49,10 @@ struct ControllerOptions
     std::size_t driftWindow = 3;
     /** Idle system power (intra-window slack), Watts. */
     double idlePower = 85.0;
+    /** Windows to ride a fallback estimate after a failed fit before
+     *  retrying estimation with fresh probes (0 = never retry; see
+     *  DESIGN.md "Failure model and degradation policy"). */
+    std::size_t fallbackBackoffWindows = 8;
 };
 
 /**
@@ -101,7 +105,15 @@ class EnergyController
      * the controller switches to Controlling. In Controlling state
      * the sample feeds drift detection and the gradient-ascent guard.
      *
-     * @param s The measured sample (config must match nextConfig()).
+     * Robustness: a sample with a non-finite or non-positive rate or
+     * power (a faulted reading) is rejected — counted in
+     * samplesRejected() — without advancing the probe plan, so the
+     * same configuration is re-probed next window. A sample for a
+     * configuration other than the pending probe is treated as
+     * out-of-band telemetry: it updates the measurement history but
+     * never enters the fit's observation set.
+     *
+     * @param s The measured sample (config should match nextConfig()).
      */
     void recordMeasurement(const telemetry::Sample &s);
 
@@ -123,9 +135,33 @@ class EnergyController
     /** @return True once at least one fit has happened. */
     bool hasEstimates() const { return !perf_.empty(); }
 
+    /** @return Fits that failed (threw or went non-finite) and fell
+     *  back to the degradation policy. */
+    std::size_t fitsFailed() const { return fits_failed_; }
+
+    /** @return Measurements rejected as unusable (non-finite or
+     *  non-positive readings), plus observations the estimator's own
+     *  sanitization dropped. */
+    std::size_t samplesRejected() const { return samples_rejected_; }
+
+    /** @return Windows spent controlling on fallback estimates. */
+    std::size_t fallbackWindows() const { return fallback_windows_; }
+
   private:
-    /** Fit the estimator from the current observations. */
+    /** Fit the estimator from the current observations; never
+     *  throws — a failed fit engages the fallback policy. */
     void fit();
+
+    /** The raw estimator call (may throw). */
+    void fitUnguarded();
+
+    /** Degradation policy after a failed fit: prior-mean estimates
+     *  when a prior exists, race-to-idle otherwise; arms the
+     *  backoff-then-retry timer. */
+    void fallbackEstimates();
+
+    /** Reset sampling state so fresh probes are drawn. */
+    void beginSampling();
 
     /** Recompute the frontier and locate the demand on it. */
     void replan();
@@ -162,6 +198,11 @@ class EnergyController
     std::size_t drift_count_ = 0;
     std::size_t reestimations_ = 0;
     std::size_t pending_config_ = 0;
+    std::size_t fits_failed_ = 0;
+    std::size_t samples_rejected_ = 0;
+    std::size_t fallback_windows_ = 0;
+    /** Windows left before a fallback triggers fresh probes. */
+    std::size_t fallback_remaining_ = 0;
 };
 
 } // namespace leo::runtime

@@ -95,12 +95,17 @@ class RaplMeter : public PowerMeter
  * Application Heartbeats monitor: measures the application-defined
  * performance metric (heartbeats/s) over a window, with relative
  * noise from scheduling jitter.
+ *
+ * measureRate() is virtual so decorators (the fault injectors of
+ * faults/faults.hh) can interpose on the reading stream.
  */
 class HeartbeatMonitor
 {
   public:
     /** @param relative_noise 1-sigma relative error of a window. */
     explicit HeartbeatMonitor(double relative_noise = 0.02);
+
+    virtual ~HeartbeatMonitor() = default;
 
     /**
      * Measure the heartbeat rate over one window.
@@ -110,9 +115,9 @@ class HeartbeatMonitor
      * @param rng   Noise source.
      * @return Measured heartbeats/s.
      */
-    double measureRate(const workloads::ApplicationModel &model,
-                       const platform::ResourceAssignment &ra,
-                       stats::Rng &rng) const;
+    virtual double measureRate(const workloads::ApplicationModel &model,
+                               const platform::ResourceAssignment &ra,
+                               stats::Rng &rng) const;
 
   private:
     double relative_noise_;

@@ -16,12 +16,8 @@ void
 Observations::push(const Sample &s)
 {
     indices.push_back(s.configIndex);
-    std::vector<double> perf(performance.begin(), performance.end());
-    std::vector<double> pow(power.begin(), power.end());
-    perf.push_back(s.heartbeatRate);
-    pow.push_back(s.powerWatts);
-    performance = linalg::Vector(std::move(perf));
-    power = linalg::Vector(std::move(pow));
+    performance.push_back(s.heartbeatRate);
+    power.push_back(s.powerWatts);
 }
 
 std::vector<std::size_t>

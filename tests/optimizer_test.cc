@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "linalg/error.hh"
 #include "linalg/simplex.hh"
 #include "optimizer/pareto.hh"
@@ -412,4 +414,124 @@ TEST(GuardedExecute, InfeasibleDemandFinishesLate)
         optimizer::executeScheduleGuarded(plan, perf, power, 85.0, c);
     EXPECT_FALSE(run.deadlineMet);
     EXPECT_NEAR(run.completionSeconds, 50.0, 1e-6);
+}
+
+// ---------------------------------------------------- Degenerate inputs
+
+TEST(Degenerate, SinglePointSpace)
+{
+    Vector perf{2.0};
+    Vector power{120.0};
+
+    auto front = optimizer::paretoFrontier(perf, power);
+    ASSERT_EQ(front.size(), 1u);
+    EXPECT_EQ(front[0].configIndex, 0u);
+
+    auto hull = optimizer::lowerConvexHull(front, 85.0);
+    ASSERT_EQ(hull.size(), 2u);
+    EXPECT_EQ(hull.front().configIndex, kIdleConfig);
+    EXPECT_EQ(hull.back().configIndex, 0u);
+
+    PerformanceConstraint c{10.0, 10.0}; // rate 1 <= 2: feasible
+    auto plan = optimizer::planMinimalEnergy(perf, power, 85.0, c);
+    EXPECT_TRUE(plan.feasible);
+    double busy = 0.0;
+    for (const auto &part : plan.parts)
+        if (part.configIndex != kIdleConfig)
+            busy += part.seconds;
+    EXPECT_NEAR(busy * perf[0], c.work, 1e-9);
+}
+
+TEST(Degenerate, AllEqualPerformances)
+{
+    // Every configuration delivers the same rate; the only rational
+    // pick is the cheapest, and the planner must not divide by the
+    // zero performance gap between hull candidates.
+    Vector perf{3.0, 3.0, 3.0, 3.0};
+    Vector power{150.0, 110.0, 170.0, 130.0};
+
+    auto front = optimizer::paretoFrontier(perf, power);
+    ASSERT_EQ(front.size(), 1u);
+    EXPECT_EQ(front[0].configIndex, 1u);
+
+    PerformanceConstraint c{15.0, 10.0}; // rate 1.5 <= 3
+    auto plan = optimizer::planMinimalEnergy(perf, power, 85.0, c);
+    EXPECT_TRUE(plan.feasible);
+    for (const auto &part : plan.parts) {
+        if (part.configIndex != kIdleConfig)
+            EXPECT_EQ(part.configIndex, 1u);
+    }
+}
+
+TEST(Degenerate, ZeroWorkIsFreeAndFeasible)
+{
+    Vector perf{1.0, 2.0};
+    Vector power{100.0, 150.0};
+    PerformanceConstraint c{0.0, 10.0};
+
+    auto plan = optimizer::planMinimalEnergy(perf, power, 85.0, c);
+    EXPECT_TRUE(plan.feasible);
+    EXPECT_NEAR(plan.predictedEnergy, 85.0 * 10.0, 1e-9);
+
+    auto race = optimizer::planRaceToIdle(perf, power, 85.0, c);
+    EXPECT_TRUE(race.feasible);
+    auto run = optimizer::executeSchedule(race, perf, power, 85.0, c);
+    EXPECT_TRUE(run.deadlineMet);
+}
+
+TEST(Degenerate, IdleCheaperThanEveryConfig)
+{
+    // Idle power above every configuration's power: the hull is still
+    // rooted at the idle pseudo-config and plans stay feasible (the
+    // optimizer may simply never idle).
+    Vector perf{1.0, 2.0};
+    Vector power{100.0, 150.0};
+    const double idle = 500.0;
+
+    auto hull = optimizer::lowerConvexHull(
+        optimizer::paretoFrontier(perf, power), idle);
+    ASSERT_GE(hull.size(), 2u);
+    EXPECT_EQ(hull.front().configIndex, kIdleConfig);
+
+    PerformanceConstraint c{5.0, 10.0}; // rate 0.5
+    auto plan = optimizer::planMinimalEnergy(perf, power, idle, c);
+    EXPECT_TRUE(plan.feasible);
+    EXPECT_TRUE(std::isfinite(plan.predictedEnergy));
+    auto run = optimizer::executeSchedule(plan, perf, power, idle, c);
+    EXPECT_TRUE(run.deadlineMet);
+}
+
+TEST(Degenerate, RaceToIdleExactDeadlineIsFeasible)
+{
+    // busy == deadline exactly: work 20 at rate 2 over a 10 s window.
+    // The old `busy >= deadline` branch marked this infeasible; the
+    // plan must be feasible with no idle tail, matching
+    // planMinimalEnergy's epsilon.
+    Vector perf{1.0, 2.0};
+    Vector power{100.0, 150.0};
+    PerformanceConstraint c{20.0, 10.0};
+
+    auto race = optimizer::planRaceToIdle(perf, power, 85.0, c);
+    EXPECT_TRUE(race.feasible);
+    ASSERT_EQ(race.parts.size(), 1u);
+    EXPECT_EQ(race.parts[0].configIndex, 1u);
+    EXPECT_NEAR(race.parts[0].seconds, 10.0, 1e-12);
+
+    auto exact = optimizer::planMinimalEnergy(perf, power, 85.0, c);
+    EXPECT_EQ(race.feasible, exact.feasible);
+
+    // Just past the deadline stays infeasible.
+    PerformanceConstraint over{20.0 + 1e-6, 10.0};
+    EXPECT_FALSE(
+        optimizer::planRaceToIdle(perf, power, 85.0, over).feasible);
+
+    // Zero rate with zero work: trivially feasible; with work: not.
+    Vector zperf{0.0};
+    Vector zpower{100.0};
+    PerformanceConstraint none{0.0, 10.0};
+    EXPECT_TRUE(
+        optimizer::planRaceToIdle(zperf, zpower, 85.0, none).feasible);
+    PerformanceConstraint some{1.0, 10.0};
+    EXPECT_FALSE(
+        optimizer::planRaceToIdle(zperf, zpower, 85.0, some).feasible);
 }

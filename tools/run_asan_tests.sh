@@ -1,0 +1,33 @@
+#!/bin/sh
+# Build and run the robustness-sensitive test binaries under
+# AddressSanitizer + UndefinedBehaviorSanitizer (the
+# -DLEO_SANITIZE=address preset of the top-level CMakeLists.txt, which
+# expands to ASan+UBSan). This is the acceptance gate for src/faults/
+# and the fault-injection / sanitization / graceful-degradation path:
+# a heap error or UB triggered by corrupted telemetry fails the run.
+#
+# Usage: tools/run_asan_tests.sh [build-dir]
+#   build-dir  defaults to build-asan (kept separate from the plain
+#              build so the two configurations never collide)
+set -eu
+
+src_dir=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$src_dir/build-asan"}
+
+cmake -B "$build_dir" -S "$src_dir" \
+    -DLEO_SANITIZE=address \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build_dir" -j \
+    --target robustness_test optimizer_test runtime_test
+
+# ASAN/UBSAN_OPTIONS: fail the script on any report; UBSan reports are
+# non-fatal by default, so force a non-zero exit and keep going within
+# a binary so one finding does not mask another.
+asan="abort_on_error=0 exitcode=66 ${ASAN_OPTIONS:-}"
+ubsan="halt_on_error=0 exitcode=66 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
+for t in robustness_test optimizer_test runtime_test; do
+    ASAN_OPTIONS="$asan" UBSAN_OPTIONS="$ubsan" \
+        "$build_dir/tests/$t"
+done
+
+echo "ASan+UBSan run clean: robustness_test + optimizer_test + runtime_test"
