@@ -21,13 +21,30 @@
  * the binary always writes machine-readable results to
  * BENCH_leo.json (google-benchmark JSON) unless --benchmark_out is
  * given explicitly; tools/bench_diff.py compares two such files.
+ *
+ * Timing goes through the leo::obs registry (a `bench.fit.ms`
+ * histogram and a `bench.fit.iters` counter, read back as snapshot
+ * deltas) rather than hand-rolled chrono, so the bench exercises the
+ * same instruments the pipeline exports. Extra flags on top of the
+ * google-benchmark set:
+ *
+ *   --trace=<file>    enable tracing and write a Chrome trace_event
+ *                     JSON (load in Perfetto or chrome://tracing)
+ *   --metrics=<file>  write the final metrics snapshot as JSON
+ *
+ * Under LEO_OBS=off the registry is a null sink; the bench then falls
+ * back to plain steady_clock so its JSON keys stay populated (that
+ * mode exists to measure the bare pipeline for the overhead gate).
  */
 
 #include <chrono>
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include <benchmark/benchmark.h>
+
+#include "obs/obs.hh"
 
 #include "estimators/leo.hh"
 #include "linalg/workspace.hh"
@@ -87,17 +104,51 @@ template <typename Fit>
 void
 runTimedFits(benchmark::State &state, const FitSetup &s, Fit &&fit)
 {
-    double total_ms = 0.0;
-    std::size_t total_iters = 0;
+    obs::Registry &reg = obs::Registry::global();
+    const obs::Histogram fit_ms =
+        reg.histogram("bench.fit.ms", obs::defaultTimeBucketsMs());
+    const obs::Counter fit_iters = reg.counter("bench.fit.iters");
+
+    // Registry deltas around the timed loop; when the registry is the
+    // null sink (LEO_OBS=off — the bare-pipeline overhead baseline)
+    // fall back to plain chrono so the JSON keys stay populated.
+    const bool via_obs = fit_ms.live();
+    const obs::Snapshot before = reg.snapshot();
+    double chrono_ms = 0.0;
+    std::size_t chrono_iters = 0;
     for (auto _ : state) {
-        const auto t0 = std::chrono::steady_clock::now();
-        estimators::LeoFit f = fit();
-        const auto t1 = std::chrono::steady_clock::now();
-        benchmark::DoNotOptimize(f.prediction);
-        total_ms += std::chrono::duration<double, std::milli>(
-                        t1 - t0).count();
-        total_iters += f.iterations;
+        if (via_obs) {
+            estimators::LeoFit f = [&]() {
+                obs::ScopedMs timer(fit_ms);
+                return fit();
+            }();
+            benchmark::DoNotOptimize(f.prediction);
+            fit_iters.add(f.iterations);
+        } else {
+            const auto t0 = std::chrono::steady_clock::now();
+            estimators::LeoFit f = fit();
+            const auto t1 = std::chrono::steady_clock::now();
+            benchmark::DoNotOptimize(f.prediction);
+            chrono_ms += std::chrono::duration<double, std::milli>(
+                             t1 - t0).count();
+            chrono_iters += f.iterations;
+        }
     }
+    const obs::Snapshot after = reg.snapshot();
+
+    double total_ms = chrono_ms;
+    std::size_t total_iters = chrono_iters;
+    if (via_obs) {
+        const obs::HistogramSnapshot *h0 =
+            before.histogram("bench.fit.ms");
+        const obs::HistogramSnapshot *h1 =
+            after.histogram("bench.fit.ms");
+        total_ms = (h1 ? h1->sum : 0.0) - (h0 ? h0->sum : 0.0);
+        total_iters = static_cast<std::size_t>(
+            after.counterOr("bench.fit.iters") -
+            before.counterOr("bench.fit.iters"));
+    }
+
     state.counters["configs"] = static_cast<double>(s.space.size());
     state.counters["em_iters"] = static_cast<double>(total_iters) /
                                  static_cast<double>(state.iterations());
@@ -214,14 +265,33 @@ BENCHMARK(BM_HullWalk)->Unit(benchmark::kMillisecond);
 int
 main(int argc, char **argv)
 {
+    // Peel off the obs flags before google-benchmark sees them.
+    std::string trace_path;
+    std::string metrics_path;
+    std::vector<char *> args;
+    args.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const std::string a(argv[i]);
+        if (a.rfind("--trace=", 0) == 0)
+            trace_path = a.substr(8);
+        else if (a == "--trace" && i + 1 < argc)
+            trace_path = argv[++i];
+        else if (a.rfind("--metrics=", 0) == 0)
+            metrics_path = a.substr(10);
+        else if (a == "--metrics" && i + 1 < argc)
+            metrics_path = argv[++i];
+        else
+            args.push_back(argv[i]);
+    }
+    if (!trace_path.empty())
+        obs::Tracer::global().enable(1u << 16);
+
     // Always emit machine-readable results: default the JSON output
     // to BENCH_leo.json in the working directory unless the caller
     // passed --benchmark_out themselves.
-    std::vector<char *> args(argv, argv + argc);
     bool has_out = false;
-    for (int i = 1; i < argc; ++i)
-        has_out |= std::string(argv[i]).rfind("--benchmark_out", 0) ==
-                   0;
+    for (const char *a : args)
+        has_out |= std::string(a).rfind("--benchmark_out", 0) == 0;
     std::string out = "--benchmark_out=BENCH_leo.json";
     std::string fmt = "--benchmark_out_format=json";
     if (!has_out) {
@@ -234,5 +304,31 @@ main(int argc, char **argv)
         return 1;
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
+
+    if (!trace_path.empty()) {
+        obs::Tracer &tracer = obs::Tracer::global();
+        tracer.disable();
+        if (!tracer.writeChromeTrace(trace_path)) {
+            std::fprintf(stderr, "failed to write trace to %s\n",
+                         trace_path.c_str());
+            return 1;
+        }
+        std::fprintf(stderr,
+                     "trace: %zu spans (%llu dropped) -> %s\n",
+                     tracer.recorded(),
+                     static_cast<unsigned long long>(tracer.dropped()),
+                     trace_path.c_str());
+    }
+    if (!metrics_path.empty()) {
+        std::FILE *f = std::fopen(metrics_path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "failed to write metrics to %s\n",
+                         metrics_path.c_str());
+            return 1;
+        }
+        const std::string json = obs::snapshotJson();
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fclose(f);
+    }
     return 0;
 }

@@ -16,13 +16,24 @@
 
 #include "bench_common.hh"
 
+#include <cstdint>
+
 #include "faults/faults.hh"
+#include "obs/obs.hh"
 #include "optimizer/schedule.hh"
 
 using namespace leo;
 
 namespace
 {
+
+/** Sanitizer rejections so far, from the global metrics registry. */
+std::uint64_t
+rejectedSoFar()
+{
+    return obs::Registry::global().snapshot().counterOr(
+        "sanitize.samples.rejected");
+}
 
 struct NamedScenario
 {
@@ -94,11 +105,20 @@ main()
     const telemetry::HeartbeatMonitor inner_monitor;
     const telemetry::WattsUpMeter inner_meter;
 
+    // The "rejected" column reads the sanitizer's own counter from
+    // the metrics registry (a snapshot delta per trial) instead of
+    // re-summing the per-estimate fields — the bench thereby checks
+    // the instrument the pipeline exports. Under LEO_OBS=off the
+    // registry is a null sink; fall back to the estimate fields.
+    const bool via_obs = obs::Registry::global().enabled();
+
     experiments::TextTable t({"Scenario", "rejected", "perf-err%",
                               "energy/optimal", "deadline-met"});
     for (const NamedScenario &row : sweep()) {
         double rejected = 0, err = 0, ratio = 0, met = 0;
         for (std::size_t r = 0; r < reps; ++r) {
+            obs::Span span("bench.trial", "bench");
+            span.arg("trial", static_cast<double>(r));
             const faults::FaultyHeartbeatMonitor monitor(
                 inner_monitor, row.scenario);
             const faults::FaultyPowerMeter meter(inner_meter,
@@ -109,10 +129,14 @@ main()
                                              probes, rng);
             const estimators::EstimationInputs inputs{w.space, prior,
                                                       obs};
+            const std::uint64_t rej0 = via_obs ? rejectedSoFar() : 0;
             const estimators::Estimate est = leo.estimate(inputs);
-            rejected += static_cast<double>(
-                est.performance.samplesRejected +
-                est.power.samplesRejected);
+            rejected += via_obs
+                            ? static_cast<double>(rejectedSoFar() -
+                                                  rej0)
+                            : static_cast<double>(
+                                  est.performance.samplesRejected +
+                                  est.power.samplesRejected);
             double e = 0;
             for (std::size_t c = 0; c < w.space.size(); ++c) {
                 e += std::abs(est.performance.values[c] -

@@ -9,9 +9,31 @@
 #include <vector>
 
 #include "linalg/error.hh"
+#include "obs/obs.hh"
 
 namespace leo::estimators
 {
+
+namespace
+{
+
+/** Registry instruments of the active sampler. */
+struct SamplingObs
+{
+    obs::Counter probes =
+        obs::Registry::global().counter("sampling.probes.measured");
+    obs::Counter rounds =
+        obs::Registry::global().counter("sampling.rounds.guided");
+};
+
+SamplingObs &
+samplingObs()
+{
+    static SamplingObs o;
+    return o;
+}
+
+} // namespace
 
 VarianceGuidedSampler::VarianceGuidedSampler(
     ActiveSamplingOptions options)
@@ -38,12 +60,15 @@ VarianceGuidedSampler::collect(const MeasureFn &measure,
     std::vector<bool> seen(n, false);
 
     auto probe = [&](std::size_t idx) {
+        obs::Span span("sampling.probe", "sampling");
+        span.arg("config", static_cast<double>(idx));
         telemetry::Sample s = measure(idx);
         require(s.configIndex == idx,
                 "VarianceGuidedSampler: callback measured the wrong "
                 "configuration");
         obs.push(s);
         seen[idx] = true;
+        samplingObs().probes.add(1);
     };
 
     // Seed with random probes so the first fit has an anchor.
@@ -61,6 +86,7 @@ VarianceGuidedSampler::collect(const MeasureFn &measure,
     LeoFit fit;
     bool have_fit = false;
     while (obs.size() < budget) {
+        samplingObs().rounds.add(1);
         const LeoFit *warm =
             (options_.warmStartRefits && have_fit) ? &fit : nullptr;
         fit = estimator.fitMetric(prior, obs.indices,

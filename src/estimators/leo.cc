@@ -34,6 +34,7 @@
 #include "estimators/sanitize.hh"
 #include "linalg/cholesky.hh"
 #include "linalg/error.hh"
+#include "obs/obs.hh"
 #include "parallel/parallel_for.hh"
 #include "stats/mvn.hh"
 
@@ -57,6 +58,30 @@ emGrain(std::size_t m)
 
 /** Registered heap-allocation counter (test hook; see leo.hh). */
 std::size_t (*alloc_counter)() = nullptr;
+
+/** Registry instruments of the EM estimator (lazily registered). */
+struct EmObs
+{
+    obs::Counter fits =
+        obs::Registry::global().counter("em.fits.completed");
+    obs::Counter warm =
+        obs::Registry::global().counter("em.fits.warm");
+    obs::Counter iters =
+        obs::Registry::global().counter("em.iterations.run");
+    obs::Counter ridge =
+        obs::Registry::global().counter("em.ridge.retried");
+    obs::Histogram iter_ms = obs::Registry::global().histogram(
+        "em.iter.ms", obs::defaultTimeBucketsMs());
+    obs::Gauge ws_bytes =
+        obs::Registry::global().gauge("em.workspace.bytes");
+};
+
+EmObs &
+emObs()
+{
+    static EmObs o;
+    return o;
+}
 
 } // namespace
 
@@ -157,6 +182,7 @@ LeoEstimator::estimateMetric(const platform::ConfigSpace &space,
     // NIW ridge — a deliberately over-regularized fit that trades
     // statistical efficiency for existence (DESIGN.md "Failure model
     // and degradation policy").
+    emObs().ridge.add(1);
     try {
         LeoOptions ridge = options_;
         ridge.hyperPsiScale =
@@ -474,6 +500,13 @@ LeoEstimator::fitMetric(const std::vector<linalg::Vector> &prior,
     // the end of the loop the only heap traffic is inside
     // ThreadPool::post when fanning to workers (serial fits are
     // strictly allocation-free, which the estimator tests assert).
+    // Observability: the reference path above stays uninstrumented —
+    // it is the executable specification the 0-ULP obs test compares
+    // this instrumented path against.
+    EmObs &eo = emObs();
+    obs::Span fit_span("em.fit", "em");
+    fit_span.arg("apps", static_cast<double>(m_prior));
+    fit_span.arg("configs", static_cast<double>(n));
     linalg::Workspace local_ws;
     linalg::Workspace &arena = ws ? *ws : local_ws;
 
@@ -513,8 +546,17 @@ LeoEstimator::fitMetric(const std::vector<linalg::Vector> &prior,
     }
     target_post.cov.resize(n, n);
 
+    // Touch the registry before the allocation audit starts: the
+    // calling thread's shard (and every instrument cell block) is
+    // created here, so in-loop counter adds and histogram records
+    // below are guaranteed heap-free.
+    obs::Registry::global().prepareThread();
+    eo.ws_bytes.set(static_cast<double>(arena.bytes()));
+
     const std::size_t alloc0 = counter ? counter() : 0;
     for (std::size_t iter = 0; iter < options_.maxIterations; ++iter) {
+        obs::Span iter_span("em.iter", "em");
+        obs::ScopedMs iter_timer(eo.iter_ms);
         fit.iterations = iter + 1;
 
         // E-step, fully-observed applications: factor
@@ -554,6 +596,12 @@ LeoEstimator::fitMetric(const std::vector<linalg::Vector> &prior,
                              d_obs.squaredNorm());
             }
             fit.logLikelihoodTrace.push_back(ll);
+            iter_span.arg("iter", static_cast<double>(iter + 1));
+            if (iter > 0) {
+                const auto &t = fit.logLikelihoodTrace;
+                iter_span.arg("ll_delta",
+                              t[t.size() - 1] - t[t.size() - 2]);
+            }
         }
 
         // E-step, target application (sparse observations):
@@ -648,6 +696,13 @@ LeoEstimator::fitMetric(const std::vector<linalg::Vector> &prior,
     }
     if (counter)
         fit.loopAllocations = counter() - alloc0;
+
+    eo.fits.add(1);
+    if (warm_ok)
+        eo.warm.add(1);
+    eo.iters.add(fit.iterations);
+    fit_span.arg("iters", static_cast<double>(fit.iterations));
+    fit_span.arg("converged", fit.converged ? 1.0 : 0.0);
 
     // ---- Prediction ------------------------------------------------
     // Final E-step for the target under the fitted parameters; the

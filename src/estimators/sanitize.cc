@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "linalg/error.hh"
+#include "obs/obs.hh"
 
 namespace leo::estimators
 {
@@ -20,6 +21,22 @@ bool
 sampleValid(std::size_t idx, double val, std::size_t space_size)
 {
     return idx < space_size && std::isfinite(val) && val > 0.0;
+}
+
+/** Registry instruments of the sanitizer (lazily registered). */
+struct SanitizeObs
+{
+    obs::Counter rejected =
+        obs::Registry::global().counter("sanitize.samples.rejected");
+    obs::Counter merged =
+        obs::Registry::global().counter("sanitize.samples.merged");
+};
+
+SanitizeObs &
+sanitizeObs()
+{
+    static SanitizeObs o;
+    return o;
 }
 
 } // namespace
@@ -78,6 +95,9 @@ sanitizeObservations(const std::vector<std::size_t> &idx,
             ++out.merged;
         }
     }
+    SanitizeObs &so = sanitizeObs();
+    so.rejected.add(out.rejected);
+    so.merged.add(out.merged);
     return out;
 }
 

@@ -8,9 +8,31 @@
 #include <limits>
 
 #include "linalg/error.hh"
+#include "obs/obs.hh"
 
 namespace leo::faults
 {
+
+namespace
+{
+
+/** Registry instruments of the fault injector. */
+struct FaultObs
+{
+    obs::Counter readings =
+        obs::Registry::global().counter("faults.readings.seen");
+    obs::Counter injected =
+        obs::Registry::global().counter("faults.readings.corrupted");
+};
+
+FaultObs &
+faultObs()
+{
+    static FaultObs o;
+    return o;
+}
+
+} // namespace
 
 FaultInjector::FaultInjector(const FaultScenario &scenario)
     : scenario_(scenario), rng_(scenario.seed)
@@ -31,6 +53,7 @@ double
 FaultInjector::corrupt(double clean)
 {
     ++readings_;
+    faultObs().readings.add(1);
     // One uniform draw per reading, partitioned across the fault
     // classes: the draw count (and with it the fault stream's
     // alignment) never depends on which faults fired earlier.
@@ -48,8 +71,10 @@ FaultInjector::corrupt(double clean)
     } else if (u < edge + scenario_.staleProb && have_last_) {
         out = last_;
     }
-    if (out != clean) // NaN compares unequal, so it counts too
+    if (out != clean) { // NaN compares unequal, so it counts too
         ++faults_;
+        faultObs().injected.add(1);
+    }
     // A stuck sensor repeats what it last *reported*, corrupted or
     // not — so stale runs can re-emit an earlier outlier.
     last_ = out;

@@ -8,6 +8,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/obs.hh"
+
 namespace leo::linalg
 {
 
@@ -15,6 +17,22 @@ namespace
 {
 
 constexpr double kEps = 1e-9;
+
+/** Registry instruments of the LP solver (lazily registered). */
+struct LpObs
+{
+    obs::Counter solves =
+        obs::Registry::global().counter("lp.solves.run");
+    obs::Counter pivots =
+        obs::Registry::global().counter("lp.pivots.stepped");
+};
+
+LpObs &
+lpObs()
+{
+    static LpObs o;
+    return o;
+}
 
 /**
  * Dense simplex tableau in standard form:
@@ -95,6 +113,7 @@ class Tableau
     void
     pivot(std::size_t row, std::size_t col)
     {
+        lpObs().pivots.add(1);
         const std::size_t n = a_.cols();
         const double p = a_.at(row, col);
         for (std::size_t j = 0; j < n; ++j)
@@ -161,6 +180,9 @@ LinearProgram::addInequality(const Vector &a, double b)
 LpSolution
 LinearProgram::solve() const
 {
+    lpObs().solves.add(1);
+    obs::Span span("lp.solve");
+    span.arg("vars", static_cast<double>(num_vars_));
     const std::size_t m_eq = eq_rows_.size();
     const std::size_t m_ub = ub_rows_.size();
     const std::size_t m = m_eq + m_ub;

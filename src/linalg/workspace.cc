@@ -45,6 +45,20 @@ Workspace::vectorArray(const std::string &key, std::size_t count,
     return a;
 }
 
+std::size_t
+Workspace::bytes() const
+{
+    std::size_t doubles = 0;
+    for (const auto &kv : matrices_)
+        doubles += kv.second.rows() * kv.second.cols();
+    for (const auto &kv : vectors_)
+        doubles += kv.second.size();
+    for (const auto &kv : arrays_)
+        for (const Vector &v : kv.second)
+            doubles += v.size();
+    return doubles * sizeof(double);
+}
+
 void
 Workspace::clear()
 {

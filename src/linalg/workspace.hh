@@ -76,6 +76,13 @@ class Workspace
         return matrices_.size() + vectors_.size() + arrays_.size();
     }
 
+    /**
+     * @return Total payload held by the arena, in bytes (the double
+     *         storage of every live buffer; map overhead excluded).
+     *         Exported as the `em.workspace.bytes` gauge.
+     */
+    std::size_t bytes() const;
+
     /** Drop every buffer (references become dangling). */
     void clear();
 

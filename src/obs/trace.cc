@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Implementation of the span tracer and the Chrome trace_event
+ * exporter.
+ */
+
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace leo::obs
+{
+
+Tracer::~Tracer() = default;
+
+void
+Tracer::enable(std::size_t capacity)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    enabled_.store(false, std::memory_order_release);
+    if (!ring_.empty())
+        retired_.push_back(std::move(ring_));
+    ring_ = std::vector<Event>(capacity);
+    next_.store(0, std::memory_order_relaxed);
+    dropped_.store(0, std::memory_order_relaxed);
+    cap_.store(capacity, std::memory_order_release);
+    data_.store(ring_.data(), std::memory_order_release);
+    enabled_.store(capacity > 0, std::memory_order_release);
+}
+
+void
+Tracer::disable()
+{
+    enabled_.store(false, std::memory_order_release);
+}
+
+std::size_t
+Tracer::recorded() const
+{
+    const Event *d = data_.load(std::memory_order_acquire);
+    if (d == nullptr)
+        return 0;
+    const std::size_t used =
+        std::min(next_.load(std::memory_order_relaxed),
+                 cap_.load(std::memory_order_acquire));
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < used; ++i)
+        if (d[i].ready.load(std::memory_order_acquire))
+            ++n;
+    return n;
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Event &e : ring_) {
+        e.ready.store(false, std::memory_order_relaxed);
+        e.nargs = 0;
+    }
+    next_.store(0, std::memory_order_relaxed);
+    dropped_.store(0, std::memory_order_relaxed);
+}
+
+Tracer::Event *
+Tracer::claim()
+{
+    if (!enabled())
+        return nullptr;
+    Event *d = data_.load(std::memory_order_acquire);
+    const std::size_t cap = cap_.load(std::memory_order_acquire);
+    if (d == nullptr || cap == 0)
+        return nullptr;
+    const std::size_t i =
+        next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= cap) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+    }
+    return &d[i];
+}
+
+double
+Tracer::nowMicros()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch)
+        .count();
+}
+
+std::uint32_t
+Tracer::threadId()
+{
+    static std::atomic<std::uint32_t> next{1};
+    thread_local const std::uint32_t id =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+Tracer &
+Tracer::global()
+{
+    // Leaked on purpose (see Registry::global()).
+    static Tracer *tracer = new Tracer();
+    return *tracer;
+}
+
+namespace
+{
+
+void
+appendJsonNumber(std::string &out, double v)
+{
+    char buf[40];
+    if (!std::isfinite(v))
+        v = 0.0;
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out += buf;
+}
+
+void
+appendEvent(std::string &out, const Tracer::Event &e)
+{
+    out += "{\"name\": \"";
+    out += e.name ? e.name : "?";
+    out += "\", \"cat\": \"";
+    out += e.cat ? e.cat : "leo";
+    out += "\", \"ph\": \"X\", \"pid\": 1, \"tid\": ";
+    out += std::to_string(e.tid);
+    out += ", \"ts\": ";
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.3f", e.tsMicros);
+    out += buf;
+    out += ", \"dur\": ";
+    std::snprintf(buf, sizeof(buf), "%.3f", e.durMicros);
+    out += buf;
+    if (e.nargs > 0) {
+        out += ", \"args\": {";
+        for (std::uint32_t a = 0; a < e.nargs; ++a) {
+            if (a)
+                out += ", ";
+            out += "\"";
+            out += e.keys[a] ? e.keys[a] : "?";
+            out += "\": ";
+            appendJsonNumber(out, e.values[a]);
+        }
+        out += "}";
+    }
+    out += "}";
+}
+
+} // namespace
+
+std::string
+Tracer::chromeTraceJson() const
+{
+    // Collect the published events, then sort by start time so the
+    // document is stable regardless of which thread finished when.
+    std::vector<const Event *> events;
+    {
+        const Event *d = data_.load(std::memory_order_acquire);
+        const std::size_t used =
+            d ? std::min(next_.load(std::memory_order_relaxed),
+                         cap_.load(std::memory_order_acquire))
+              : 0;
+        events.reserve(used);
+        for (std::size_t i = 0; i < used; ++i)
+            if (d[i].ready.load(std::memory_order_acquire))
+                events.push_back(&d[i]);
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event *a, const Event *b) {
+                  if (a->tsMicros != b->tsMicros)
+                      return a->tsMicros < b->tsMicros;
+                  return a->tid < b->tid;
+              });
+
+    std::string out = "{\"displayTimeUnit\": \"ms\", ";
+    out += "\"traceEvents\": [\n";
+    out += "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+           "\"tid\": 0, \"ts\": 0, "
+           "\"args\": {\"name\": \"leo\"}}";
+    for (const Event *e : events) {
+        out += ",\n";
+        appendEvent(out, *e);
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+bool
+Tracer::writeChromeTrace(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f)
+        return false;
+    f << chromeTraceJson();
+    return static_cast<bool>(f);
+}
+
+Span::Span(const char *name, const char *cat)
+    : name_(name), cat_(cat)
+{
+    if (Tracer::global().enabled()) {
+        active_ = true;
+        t0_ = Tracer::nowMicros();
+    }
+}
+
+void
+Span::arg(const char *key, double value)
+{
+    if (!active_ || nargs_ >= Tracer::kMaxArgs)
+        return;
+    keys_[nargs_] = key;
+    values_[nargs_] = value;
+    ++nargs_;
+}
+
+Span::~Span()
+{
+    if (!active_)
+        return;
+    const double t1 = Tracer::nowMicros();
+    Tracer::Event *e = Tracer::global().claim();
+    if (e == nullptr)
+        return;
+    e->name = name_;
+    e->cat = cat_;
+    e->tsMicros = t0_;
+    e->durMicros = t1 - t0_;
+    e->tid = Tracer::threadId();
+    e->nargs = nargs_;
+    for (std::uint32_t a = 0; a < nargs_; ++a) {
+        e->keys[a] = keys_[a];
+        e->values[a] = values_[a];
+    }
+    e->ready.store(true, std::memory_order_release);
+}
+
+} // namespace leo::obs

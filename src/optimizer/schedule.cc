@@ -9,12 +9,29 @@
 #include <cmath>
 
 #include "linalg/error.hh"
+#include "obs/obs.hh"
 
 namespace leo::optimizer
 {
 
 namespace
 {
+
+/** Registry instruments of the scheduler (lazily registered). */
+struct PlanObs
+{
+    obs::Counter plans =
+        obs::Registry::global().counter("optimizer.plans.computed");
+    obs::Counter infeasible =
+        obs::Registry::global().counter("optimizer.plans.infeasible");
+};
+
+PlanObs &
+planObs()
+{
+    static PlanObs o;
+    return o;
+}
 
 /** Power of a part under an estimate/truth vector. */
 double
@@ -46,6 +63,9 @@ planMinimalEnergy(const linalg::Vector &performance,
                   const linalg::Vector &power, double idle_power,
                   const PerformanceConstraint &constraint)
 {
+    obs::Span span("optimizer.plan", "optimizer");
+    span.arg("configs", static_cast<double>(performance.size()));
+    planObs().plans.add(1);
     require(performance.size() == power.size() && !performance.empty(),
             "planMinimalEnergy: bad estimate vectors");
     require(constraint.deadlineSeconds > 0.0,
@@ -74,6 +94,8 @@ planMinimalEnergy(const linalg::Vector &performance,
         plan.predictedEnergy =
             fastest.power * constraint.deadlineSeconds;
         plan.feasible = target_rate <= fastest.performance * (1 + 1e-12);
+        if (!plan.feasible)
+            planObs().infeasible.add(1);
         return plan;
     }
 

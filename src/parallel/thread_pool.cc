@@ -5,8 +5,11 @@
 
 #include "parallel/thread_pool.hh"
 
+#include <chrono>
 #include <cstdlib>
 #include <string>
+
+#include "obs/obs.hh"
 
 namespace leo::parallel
 {
@@ -16,6 +19,36 @@ namespace
 
 /** Set for the lifetime of every worker thread, in any pool. */
 thread_local bool inside_worker = false;
+
+/** Registry instruments shared by every pool in the process. */
+struct PoolObs
+{
+    obs::Counter posted =
+        obs::Registry::global().counter("pool.tasks.posted");
+    obs::Counter executed =
+        obs::Registry::global().counter("pool.tasks.executed");
+    obs::Gauge depth =
+        obs::Registry::global().gauge("pool.queue.depth");
+    obs::Histogram wait_ms = obs::Registry::global().histogram(
+        "pool.wait.ms", obs::defaultTimeBucketsMs());
+    obs::Histogram task_ms = obs::Registry::global().histogram(
+        "pool.task.ms", obs::defaultTimeBucketsMs());
+};
+
+PoolObs &
+poolObs()
+{
+    static PoolObs o;
+    return o;
+}
+
+double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
 
 } // namespace
 
@@ -40,13 +73,21 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::post(std::function<void()> task)
 {
+    PoolObs &po = poolObs();
+    po.posted.add(1);
     if (threads_.empty()) {
+        // Inline pool: run right here. No queue to measure — and no
+        // timing either, so the strictly-serial path stays free of
+        // clock reads (it is the reference for the 0-ULP and
+        // allocation-audit tests).
         task();
+        po.executed.add(1);
         return;
     }
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        queue_.push_back(std::move(task));
+        queue_.push_back({std::move(task), nowMs()});
+        po.depth.set(static_cast<double>(queue_.size()));
     }
     cv_.notify_one();
 }
@@ -55,8 +96,9 @@ void
 ThreadPool::workerLoop()
 {
     inside_worker = true;
+    PoolObs &po = poolObs();
     for (;;) {
-        std::function<void()> task;
+        QueuedTask task;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             cv_.wait(lock,
@@ -65,8 +107,13 @@ ThreadPool::workerLoop()
                 return; // stopping_ and drained
             task = std::move(queue_.front());
             queue_.pop_front();
+            po.depth.set(static_cast<double>(queue_.size()));
         }
-        task();
+        const double t0 = nowMs();
+        po.wait_ms.record(t0 - task.enqueueMs);
+        task.fn();
+        po.task_ms.record(nowMs() - t0);
+        po.executed.add(1);
     }
 }
 

@@ -127,11 +127,19 @@ class ThreadPool
     static ThreadPool &serial();
 
   private:
+    /** A queued task plus its enqueue timestamp (for the
+     *  `pool.wait.ms` observability histogram). */
+    struct QueuedTask
+    {
+        std::function<void()> fn;
+        double enqueueMs = 0.0;
+    };
+
     void workerLoop();
 
     std::mutex mutex_;
     std::condition_variable cv_;
-    std::deque<std::function<void()>> queue_;
+    std::deque<QueuedTask> queue_;
     bool stopping_ = false;
     std::vector<std::thread> threads_;
 };

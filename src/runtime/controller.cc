@@ -53,6 +53,11 @@ EnergyController::nextConfig(stats::Rng &rng)
 void
 EnergyController::recordMeasurement(const telemetry::Sample &s)
 {
+    obs::Span span("controller.window", "runtime");
+    span.arg("config", static_cast<double>(s.configIndex));
+    span.arg("state",
+             state_ == State::Sampling ? 0.0 : 1.0);
+
     // Reject unusable telemetry up front: a non-finite or
     // non-positive reading (a faulted sensor poll — see
     // faults/faults.hh) must neither enter the fit nor advance the
@@ -60,7 +65,7 @@ EnergyController::recordMeasurement(const telemetry::Sample &s)
     if (s.configIndex >= space_.size() ||
         !std::isfinite(s.heartbeatRate) || s.heartbeatRate <= 0.0 ||
         !std::isfinite(s.powerWatts) || s.powerWatts <= 0.0) {
-        ++samples_rejected_;
+        samples_rejected_.add(1);
         return;
     }
 
@@ -94,7 +99,7 @@ EnergyController::recordMeasurement(const telemetry::Sample &s)
     // Controlling on fallback estimates: count the window and, when
     // the backoff expires, retry estimation with fresh probes.
     if (fallback_remaining_ > 0) {
-        ++fallback_windows_;
+        fallback_windows_.add(1);
         if (--fallback_remaining_ == 0 && estimator_ != nullptr) {
             beginSampling();
             return;
@@ -174,6 +179,10 @@ EnergyController::beginSampling()
 void
 EnergyController::fit()
 {
+    obs::Span span("controller.fit", "runtime");
+    span.arg("observations",
+             static_cast<double>(observations_.size()));
+
     // No estimator throw escapes the controller: a failed or
     // non-finite fit engages the degradation policy instead of
     // crashing the control loop mid-flight.
@@ -188,7 +197,7 @@ EnergyController::fit()
     } catch (const std::exception &) {
         // Fall through to the fallback policy.
     }
-    ++fits_failed_;
+    fits_failed_.add(1);
     fallbackEstimates();
 }
 
@@ -251,8 +260,8 @@ EnergyController::fitUnguarded()
             observations_.indices, observations_.power, &fit_ws_,
             have_fits_ ? &power_fit_ : nullptr, &power_fit_);
         have_fits_ = true;
-        samples_rejected_ +=
-            perf.samplesRejected + power.samplesRejected;
+        samples_rejected_.add(perf.samplesRejected +
+                              power.samplesRejected);
         perf_ = std::move(perf.values);
         power_ = std::move(power.values);
         return;
@@ -260,8 +269,8 @@ EnergyController::fitUnguarded()
     const estimators::EstimationInputs inputs{space_, prior_,
                                               observations_};
     estimators::Estimate est = estimator_->estimate(inputs);
-    samples_rejected_ += est.performance.samplesRejected +
-                         est.power.samplesRejected;
+    samples_rejected_.add(est.performance.samplesRejected +
+                          est.power.samplesRejected);
     perf_ = std::move(est.performance.values);
     power_ = std::move(est.power.values);
 }

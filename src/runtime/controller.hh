@@ -24,6 +24,7 @@
 #include "estimators/estimator.hh"
 #include "estimators/leo.hh"
 #include "linalg/workspace.hh"
+#include "obs/obs.hh"
 #include "optimizer/pareto.hh"
 #include "stats/rng.hh"
 #include "telemetry/measurement.hh"
@@ -137,15 +138,32 @@ class EnergyController
 
     /** @return Fits that failed (threw or went non-finite) and fell
      *  back to the degradation policy. */
-    std::size_t fitsFailed() const { return fits_failed_; }
+    std::size_t fitsFailed() const
+    {
+        return static_cast<std::size_t>(fits_failed_.value());
+    }
 
     /** @return Measurements rejected as unusable (non-finite or
      *  non-positive readings), plus observations the estimator's own
      *  sanitization dropped. */
-    std::size_t samplesRejected() const { return samples_rejected_; }
+    std::size_t samplesRejected() const
+    {
+        return static_cast<std::size_t>(samples_rejected_.value());
+    }
 
     /** @return Windows spent controlling on fallback estimates. */
-    std::size_t fallbackWindows() const { return fallback_windows_; }
+    std::size_t fallbackWindows() const
+    {
+        return static_cast<std::size_t>(fallback_windows_.value());
+    }
+
+    /**
+     * This controller's private metrics registry. The degradation
+     * counters above live here (each controller counts its own
+     * events, independent of every other instance and of
+     * obs::Registry::global()); snapshot it for a health report.
+     */
+    const obs::Registry &metrics() const { return obs_; }
 
   private:
     /** Fit the estimator from the current observations; never
@@ -198,9 +216,15 @@ class EnergyController
     std::size_t drift_count_ = 0;
     std::size_t reestimations_ = 0;
     std::size_t pending_config_ = 0;
-    std::size_t fits_failed_ = 0;
-    std::size_t samples_rejected_ = 0;
-    std::size_t fallback_windows_ = 0;
+    /** Instance-local registry backing the degradation counters (must
+     *  precede the handles below — they bind to it at construction). */
+    obs::Registry obs_;
+    obs::Counter fits_failed_ =
+        obs_.counter("controller.fits.failed");
+    obs::Counter samples_rejected_ =
+        obs_.counter("controller.samples.rejected");
+    obs::Counter fallback_windows_ =
+        obs_.counter("controller.windows.fallback");
     /** Windows left before a fallback triggers fresh probes. */
     std::size_t fallback_remaining_ = 0;
 };

@@ -8,9 +8,31 @@
 #include <algorithm>
 
 #include "linalg/error.hh"
+#include "obs/obs.hh"
 
 namespace leo::telemetry
 {
+
+namespace
+{
+
+/** Registry instruments of the profiler (lazily registered). */
+struct ProfilerObs
+{
+    obs::Counter probes =
+        obs::Registry::global().counter("profiler.configs.measured");
+    obs::Counter sweeps =
+        obs::Registry::global().counter("profiler.sweeps.run");
+};
+
+ProfilerObs &
+profilerObs()
+{
+    static ProfilerObs o;
+    return o;
+}
+
+} // namespace
 
 void
 Observations::push(const Sample &s)
@@ -62,6 +84,10 @@ Profiler::measureAt(const workloads::ApplicationModel &model,
                     const std::vector<std::size_t> &indices,
                     stats::Rng &rng) const
 {
+    obs::Span span("profiler.measure", "telemetry");
+    span.arg("probes", static_cast<double>(indices.size()));
+    profilerObs().probes.add(indices.size());
+
     Observations obs;
     obs.indices = indices;
     obs.performance = linalg::Vector(indices.size());
@@ -83,6 +109,7 @@ Profiler::sample(const workloads::ApplicationModel &model,
                  const SamplingPolicy &policy, std::size_t budget,
                  stats::Rng &rng) const
 {
+    profilerObs().sweeps.add(1);
     const std::vector<std::size_t> idx =
         policy.select(space.size(), budget, rng);
     return measureAt(model, space, idx, rng);

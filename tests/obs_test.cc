@@ -1,0 +1,443 @@
+/**
+ * @file
+ * Unit tests for the leo::obs observability subsystem: the metrics
+ * registry (counters, gauges, histograms, deterministic shard merge,
+ * JSON export), the tracer (ring capacity, drop counting, Chrome
+ * trace_event output) and the two integration guarantees the rest of
+ * the pipeline relies on — the instrumented fit is bitwise identical
+ * to the uninstrumented reference path, and counter snapshots are
+ * identical at any fit thread count.
+ */
+
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "estimators/leo.hh"
+#include "linalg/workspace.hh"
+#include "obs/obs.hh"
+#include "platform/config_space.hh"
+#include "runtime/controller.hh"
+#include "telemetry/profile_store.hh"
+#include "telemetry/sampler.hh"
+#include "workloads/ground_truth.hh"
+#include "workloads/suite.hh"
+
+using namespace leo;
+
+namespace
+{
+
+/** A fixed-seed fit problem (mirrors the estimator tests' setup). */
+struct FitProblem
+{
+    std::vector<linalg::Vector> prior;
+    std::vector<std::size_t> idx;
+    linalg::Vector vals;
+};
+
+FitProblem
+makeFitProblem(std::size_t n_obs)
+{
+    platform::Machine machine;
+    auto space = platform::ConfigSpace::coreOnly(machine);
+    telemetry::HeartbeatMonitor monitor{0.01};
+    telemetry::WattsUpMeter meter{0.005, 0.1};
+    stats::Rng rng{2024};
+
+    FitProblem p;
+    for (const auto &prof : workloads::standardSuite()) {
+        if (prof.name == "kmeans")
+            continue;
+        workloads::ApplicationModel app(prof, machine);
+        p.prior.push_back(
+            workloads::computeGroundTruth(app, space).performance);
+    }
+    workloads::ApplicationModel app(
+        workloads::profileByName("kmeans"), machine);
+    telemetry::Profiler prof(monitor, meter);
+    telemetry::RandomSampler pol;
+    auto obs = prof.sample(app, space, pol, n_obs, rng);
+    p.idx = obs.indices;
+    p.vals = obs.performance;
+    return p;
+}
+
+/** Exact (bitwise, via ==) equality of two vectors. */
+void
+expectExactlyEqual(const linalg::Vector &a, const linalg::Vector &b,
+                   const std::string &what)
+{
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]) << what << "[" << i << "]";
+}
+
+/** Counter name/value pairs of a snapshot, for whole-map compares. */
+std::vector<std::pair<std::string, std::uint64_t>>
+counterMap(const obs::Snapshot &s)
+{
+    return s.counters;
+}
+
+} // namespace
+
+// ------------------------------------------------------- null sink
+
+TEST(ObsRegistry, NullSinkHandlesAreInert)
+{
+    const obs::Counter c;
+    const obs::Gauge g;
+    const obs::Histogram h;
+    c.add(5);
+    g.set(3.0);
+    h.record(1.0);
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(g.value(), 0.0);
+    EXPECT_FALSE(h.live());
+    {
+        obs::ScopedMs timer(h); // must not crash or record
+    }
+}
+
+TEST(ObsRegistry, SetEnabledFalseDropsWrites)
+{
+    obs::Registry reg;
+    const obs::Counter c = reg.counter("x.events.seen");
+    c.add(2);
+    reg.setEnabled(false);
+    c.add(40);
+    EXPECT_EQ(c.value(), 2u);
+    reg.setEnabled(true);
+    c.add(1);
+    EXPECT_EQ(c.value(), 3u);
+}
+
+// ------------------------------------------------------ instruments
+
+TEST(ObsRegistry, CounterAccumulatesAndSnapshotSortsByName)
+{
+    obs::Registry reg;
+    reg.counter("b.second.one").add(7);
+    reg.counter("a.first.one").add(3);
+    const obs::Snapshot s = reg.snapshot();
+    ASSERT_EQ(s.counters.size(), 2u);
+    EXPECT_EQ(s.counters[0].first, "a.first.one");
+    EXPECT_EQ(s.counters[0].second, 3u);
+    EXPECT_EQ(s.counters[1].first, "b.second.one");
+    EXPECT_EQ(s.counters[1].second, 7u);
+    EXPECT_EQ(s.counterOr("missing.counter", 42u), 42u);
+}
+
+TEST(ObsRegistry, ReregistrationReturnsTheSameInstrument)
+{
+    obs::Registry reg;
+    reg.counter("dup.events.seen").add(1);
+    reg.counter("dup.events.seen").add(1);
+    EXPECT_EQ(reg.counter("dup.events.seen").value(), 2u);
+
+    // Histogram edges are fixed at first registration.
+    reg.histogram("dup.vals.unit", {1.0, 2.0});
+    const obs::Histogram again =
+        reg.histogram("dup.vals.unit", {99.0});
+    again.record(1.5);
+    const obs::Snapshot snap = reg.snapshot();
+    const obs::HistogramSnapshot *h = snap.histogram("dup.vals.unit");
+    ASSERT_NE(h, nullptr);
+    ASSERT_EQ(h->edges.size(), 2u);
+    EXPECT_EQ(h->edges[0], 1.0);
+    EXPECT_EQ(h->counts[1], 1u); // 1.5 in (1, 2]
+}
+
+TEST(ObsRegistry, GaugeLastWriteWins)
+{
+    obs::Registry reg;
+    const obs::Gauge g = reg.gauge("x.level.units");
+    g.set(1.0);
+    g.set(2.0);
+    g.set(3.0);
+    EXPECT_EQ(g.value(), 3.0);
+    // A later write from another thread (another shard) wins the
+    // merge: the global write ticket orders across shards.
+    std::thread t([&]() { g.set(5.0); });
+    t.join();
+    EXPECT_EQ(g.value(), 5.0);
+}
+
+TEST(ObsRegistry, HistogramBucketEdges)
+{
+    // A value v lands in the first bucket with v <= edges[i]; above
+    // the last edge is the overflow bucket.
+    obs::Registry reg;
+    const obs::Histogram h =
+        reg.histogram("x.vals.unit", {1.0, 2.0, 4.0});
+    EXPECT_TRUE(h.live());
+    const double samples[] = {0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 5.0};
+    for (double v : samples)
+        h.record(v);
+
+    const obs::Snapshot snap = reg.snapshot();
+    const obs::HistogramSnapshot *s = snap.histogram("x.vals.unit");
+    ASSERT_NE(s, nullptr);
+    ASSERT_EQ(s->counts.size(), 4u); // 3 edges + overflow
+    EXPECT_EQ(s->counts[0], 2u);     // 0.5, 1.0
+    EXPECT_EQ(s->counts[1], 2u);     // 1.5, 2.0
+    EXPECT_EQ(s->counts[2], 2u);     // 3.0, 4.0
+    EXPECT_EQ(s->counts[3], 1u);     // 5.0
+    EXPECT_EQ(s->count, 7u);
+    EXPECT_EQ(s->min, 0.5);
+    EXPECT_EQ(s->max, 5.0);
+    EXPECT_EQ(s->sum, 0.5 + 1.0 + 1.5 + 2.0 + 3.0 + 4.0 + 5.0);
+}
+
+TEST(ObsRegistry, DefaultTimeBucketsAreStrictlyIncreasing)
+{
+    const std::vector<double> e = obs::defaultTimeBucketsMs();
+    ASSERT_GE(e.size(), 8u);
+    for (std::size_t i = 1; i < e.size(); ++i)
+        EXPECT_LT(e[i - 1], e[i]) << i;
+}
+
+// ---------------------------------------------- deterministic merge
+
+TEST(ObsRegistry, ShardMergeIsDeterministicAcrossThreadCounts)
+{
+    // The same total workload, partitioned across 1, 4 and 16
+    // threads, must produce identical counter values and histogram
+    // bucket counts: integer sums commute, and the snapshot merges
+    // shards in creation order. This is the guarantee behind the
+    // "--threads N gives identical metric snapshots" acceptance.
+    constexpr std::size_t kItems = 1600;
+    auto run = [](std::size_t threads) {
+        obs::Registry reg;
+        const obs::Counter c = reg.counter("work.items.done");
+        const obs::Histogram h =
+            reg.histogram("work.size.unit", {1.0, 3.0, 5.0});
+        auto worker = [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+                c.add(1);
+                h.record(static_cast<double>(i % 7));
+            }
+        };
+        std::vector<std::thread> pool;
+        const std::size_t per = kItems / threads;
+        for (std::size_t t = 0; t < threads; ++t)
+            pool.emplace_back(worker, t * per, (t + 1) * per);
+        for (std::thread &t : pool)
+            t.join();
+        return reg.snapshot();
+    };
+
+    const obs::Snapshot s1 = run(1);
+    for (std::size_t threads : {4u, 16u}) {
+        const obs::Snapshot sn = run(threads);
+        EXPECT_EQ(counterMap(sn), counterMap(s1)) << threads;
+        const obs::HistogramSnapshot *h1 =
+            s1.histogram("work.size.unit");
+        const obs::HistogramSnapshot *hn =
+            sn.histogram("work.size.unit");
+        ASSERT_NE(h1, nullptr);
+        ASSERT_NE(hn, nullptr);
+        EXPECT_EQ(hn->counts, h1->counts) << threads;
+        EXPECT_EQ(hn->count, h1->count) << threads;
+        EXPECT_EQ(hn->min, h1->min) << threads;
+        EXPECT_EQ(hn->max, h1->max) << threads;
+    }
+    EXPECT_EQ(s1.counterOr("work.items.done"), kItems);
+}
+
+// ------------------------------------------------------ JSON export
+
+TEST(ObsRegistry, JsonSnapshotListsEveryInstrument)
+{
+    obs::Registry reg;
+    reg.counter("j.events.seen").add(9);
+    reg.gauge("j.level.units").set(2.5);
+    reg.histogram("j.vals.unit", {1.0}).record(0.5);
+
+    const std::string json = obs::snapshotJson(reg);
+    EXPECT_NE(json.find("\"j.events.seen\""), std::string::npos);
+    EXPECT_NE(json.find("\"j.level.units\""), std::string::npos);
+    EXPECT_NE(json.find("\"j.vals.unit\""), std::string::npos);
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+
+    // NDJSON: one line per instrument.
+    const std::string nd = obs::snapshotNdjson(reg);
+    std::istringstream lines(nd);
+    std::string line;
+    std::size_t n = 0;
+    while (std::getline(lines, line))
+        if (!line.empty())
+            ++n;
+    EXPECT_EQ(n, 3u);
+}
+
+// ----------------------------------------------------------- tracer
+
+TEST(ObsTracer, SpansWhileDisabledAreInert)
+{
+    obs::Tracer &tracer = obs::Tracer::global();
+    ASSERT_FALSE(tracer.enabled());
+    const std::uint64_t dropped = tracer.dropped();
+    {
+        obs::Span span("test.disabled");
+        span.arg("k", 1.0);
+    }
+    EXPECT_EQ(tracer.dropped(), dropped);
+}
+
+TEST(ObsTracer, RingOverflowSetsDropCounter)
+{
+    obs::Tracer &tracer = obs::Tracer::global();
+    tracer.enable(4);
+    for (int i = 0; i < 6; ++i) {
+        obs::Span span("test.overflow");
+        span.arg("i", static_cast<double>(i));
+    }
+    tracer.disable();
+    EXPECT_EQ(tracer.recorded(), 4u);
+    EXPECT_EQ(tracer.dropped(), 2u);
+    tracer.clear();
+    EXPECT_EQ(tracer.recorded(), 0u);
+    EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(ObsTracer, ChromeTraceJsonIsWellFormed)
+{
+    obs::Tracer &tracer = obs::Tracer::global();
+    tracer.clear();
+    tracer.enable(64);
+    {
+        obs::Span outer("test.outer");
+        outer.arg("depth", 0.0);
+        obs::Span inner("test.inner", "testcat");
+        inner.arg("depth", 1.0);
+    }
+    tracer.disable();
+    ASSERT_EQ(tracer.recorded(), 2u);
+
+    const std::string json = tracer.chromeTraceJson();
+    EXPECT_EQ(json.find("{"), 0u);
+    EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"test.outer\""), std::string::npos);
+    EXPECT_NE(json.find("\"test.inner\""), std::string::npos);
+    EXPECT_NE(json.find("\"testcat\""), std::string::npos);
+    EXPECT_NE(json.find("\"depth\""), std::string::npos);
+    // Metadata names the process for Perfetto.
+    EXPECT_NE(json.find("process_name"), std::string::npos);
+    tracer.clear();
+}
+
+// ------------------------------------------------------ integration
+
+TEST(ObsIntegration, InstrumentedFitMatchesReferencePathBitwise)
+{
+    // The 0-ULP guarantee: the instrumented workspace path (metrics
+    // on, tracing actively recording) computes exactly the same bits
+    // as the uninstrumented reference path.
+    const FitProblem p = makeFitProblem(12);
+
+    estimators::LeoOptions oref;
+    oref.threads = 1;
+    oref.referencePath = true;
+    const estimators::LeoFit ref =
+        estimators::LeoEstimator(oref).fitMetric(p.prior, p.idx,
+                                                 p.vals);
+
+    obs::Tracer &tracer = obs::Tracer::global();
+    tracer.clear();
+    tracer.enable(1u << 12);
+    estimators::LeoOptions ows;
+    ows.threads = 1;
+    linalg::Workspace ws;
+    const estimators::LeoFit fast = estimators::LeoEstimator(
+        ows).fitMetric(p.prior, p.idx, p.vals, &ws, nullptr);
+    tracer.disable();
+
+    EXPECT_GT(tracer.recorded(), 0u); // the fit did emit spans
+    tracer.clear();
+
+    expectExactlyEqual(fast.prediction, ref.prediction, "prediction");
+    expectExactlyEqual(fast.predictionVariance,
+                       ref.predictionVariance, "variance");
+    expectExactlyEqual(fast.mu, ref.mu, "mu");
+    EXPECT_EQ(fast.sigma2, ref.sigma2);
+    EXPECT_EQ(fast.iterations, ref.iterations);
+    ASSERT_EQ(fast.sigma.rows(), ref.sigma.rows());
+    for (std::size_t r = 0; r < fast.sigma.rows(); ++r)
+        for (std::size_t c = 0; c < fast.sigma.cols(); ++c)
+            ASSERT_EQ(fast.sigma.at(r, c), ref.sigma.at(r, c))
+                << r << "," << c;
+}
+
+TEST(ObsIntegration, FitCountersIdenticalAcrossThreadCounts)
+{
+    // The registry delta of one deterministic fit must be the same
+    // whether EM fans across 1, 4 or 16 threads: the fit itself is
+    // bitwise thread-count-invariant, and integer counter merges are
+    // order-free.
+    const FitProblem p = makeFitProblem(12);
+    obs::Registry &reg = obs::Registry::global();
+
+    auto em_delta = [&](std::size_t threads) {
+        estimators::LeoOptions o;
+        o.threads = threads;
+        const obs::Snapshot before = reg.snapshot();
+        const estimators::LeoFit f = estimators::LeoEstimator(
+            o).fitMetric(p.prior, p.idx, p.vals);
+        EXPECT_GT(f.iterations, 0u);
+        const obs::Snapshot after = reg.snapshot();
+        std::vector<std::pair<std::string, std::uint64_t>> delta;
+        for (const auto &kv : after.counters) {
+            if (kv.first.rfind("em.", 0) != 0)
+                continue;
+            delta.emplace_back(
+                kv.first,
+                kv.second - before.counterOr(kv.first));
+        }
+        return delta;
+    };
+
+    const auto d1 = em_delta(1);
+    ASSERT_FALSE(d1.empty());
+    EXPECT_EQ(em_delta(4), d1);
+    EXPECT_EQ(em_delta(16), d1);
+}
+
+TEST(ObsIntegration, ControllerCountersAreInstanceLocal)
+{
+    // Satellite guarantee: the controller's degradation counters are
+    // registry-backed but instance-local — two controllers never see
+    // each other's events, and the accessors read the same numbers
+    // the registry snapshot exports.
+    platform::Machine machine;
+    auto space = platform::ConfigSpace::coreOnly(machine);
+    telemetry::ProfileStore store({});
+    runtime::ControllerOptions opts;
+    runtime::EnergyController a(space, nullptr, store, opts);
+    runtime::EnergyController b(space, nullptr, store, opts);
+
+    telemetry::Sample bad;
+    bad.configIndex = 0;
+    bad.heartbeatRate = std::numeric_limits<double>::quiet_NaN();
+    bad.powerWatts = 90.0;
+    a.recordMeasurement(bad);
+    a.recordMeasurement(bad);
+
+    EXPECT_EQ(a.samplesRejected(), 2u);
+    EXPECT_EQ(b.samplesRejected(), 0u);
+    EXPECT_EQ(a.metrics().snapshot().counterOr(
+                  "controller.samples.rejected"),
+              2u);
+    EXPECT_EQ(b.metrics().snapshot().counterOr(
+                  "controller.samples.rejected"),
+              0u);
+}

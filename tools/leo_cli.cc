@@ -20,6 +20,12 @@
  *       24-app leave-one-out prior for kmeans plus 6 observations),
  *       ready to feed back into `estimate`.
  *
+ * Observability (any subcommand):
+ *
+ *   --metrics FILE   write the obs registry snapshot (JSON) on exit
+ *   --trace FILE     record tracing spans and write a Chrome
+ *                    trace_event JSON (Perfetto-loadable) on exit
+ *
  * Exit status: 0 on success, 1 on bad usage or unreadable input.
  */
 
@@ -34,6 +40,7 @@
 #include "estimators/leo.hh"
 #include "experiments/csv.hh"
 #include "linalg/error.hh"
+#include "obs/obs.hh"
 #include "optimizer/schedule.hh"
 #include "platform/config_space.hh"
 #include "telemetry/profile_store.hh"
@@ -227,7 +234,31 @@ usage()
            "[--psi X] [--iters N] [--threads N]\n"
            "       leo_cli schedule --perf FILE --power FILE "
            "--work W --deadline T [--idle WATTS]\n"
-           "       leo_cli demo [--out DIR]\n";
+           "       leo_cli demo [--out DIR]\n"
+           "any subcommand also takes --metrics FILE (registry "
+           "snapshot JSON)\n"
+           "and --trace FILE (Chrome trace_event JSON)\n";
+}
+
+/** Write the --metrics / --trace outputs after a subcommand ran. */
+void
+writeObsOutputs(const Options &opts)
+{
+    if (opts.count("trace")) {
+        obs::Tracer &tracer = obs::Tracer::global();
+        tracer.disable();
+        if (!tracer.writeChromeTrace(opts.at("trace")))
+            fatal("cannot write " + opts.at("trace"));
+        std::cerr << "# trace: " << tracer.recorded() << " spans ("
+                  << tracer.dropped() << " dropped) -> "
+                  << opts.at("trace") << "\n";
+    }
+    if (opts.count("metrics")) {
+        std::ofstream out(opts.at("metrics"));
+        if (!out)
+            fatal("cannot write " + opts.at("metrics"));
+        out << obs::snapshotJson();
+    }
 }
 
 } // namespace
@@ -242,14 +273,21 @@ main(int argc, char **argv)
     const std::string cmd = argv[1];
     try {
         const Options opts = parseOptions(argc, argv, 2);
+        if (opts.count("trace"))
+            obs::Tracer::global().enable(1u << 16);
+        int rc = 1;
         if (cmd == "estimate")
-            return cmdEstimate(opts);
-        if (cmd == "schedule")
-            return cmdSchedule(opts);
-        if (cmd == "demo")
-            return cmdDemo(opts);
-        usage();
-        return 1;
+            rc = cmdEstimate(opts);
+        else if (cmd == "schedule")
+            rc = cmdSchedule(opts);
+        else if (cmd == "demo")
+            rc = cmdDemo(opts);
+        else {
+            usage();
+            return 1;
+        }
+        writeObsOutputs(opts);
+        return rc;
     } catch (const leo::Error &e) {
         std::cerr << "leo_cli: " << e.what() << "\n";
         return 1;

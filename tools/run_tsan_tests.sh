@@ -17,7 +17,7 @@ cmake -B "$build_dir" -S "$src_dir" \
     -DLEO_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" -j \
-    --target parallel_test estimators_test
+    --target parallel_test estimators_test obs_test
 
 # TSAN_OPTIONS: fail the script on any report (exitcode) and keep
 # going within a binary so one race does not mask another.
@@ -25,5 +25,7 @@ TSAN_OPTIONS="halt_on_error=0 exitcode=66 ${TSAN_OPTIONS:-}" \
     "$build_dir/tests/parallel_test"
 TSAN_OPTIONS="halt_on_error=0 exitcode=66 ${TSAN_OPTIONS:-}" \
     "$build_dir/tests/estimators_test"
+TSAN_OPTIONS="halt_on_error=0 exitcode=66 ${TSAN_OPTIONS:-}" \
+    "$build_dir/tests/obs_test"
 
-echo "TSan run clean: parallel_test + estimators_test"
+echo "TSan run clean: parallel_test + estimators_test + obs_test"

@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Summarize a leo::obs Chrome trace_event JSON file.
+
+Usage: tools/trace_summary.py TRACE.json [--top N] [--sort total|self]
+
+TRACE.json is the ``{"displayTimeUnit": "ms", "traceEvents": [...]}``
+document written by ``obs::Tracer::writeChromeTrace`` (also what
+``overhead_leo --trace`` and ``leo_cli --trace`` emit). The script
+aggregates the complete ("X") events per span name and prints one row
+each: call count, total wall time, *self* time (total minus the time
+spent in spans nested inside on the same thread), and the p50/p95 of
+the span duration. Rows are sorted by total time (or self time with
+``--sort self``) and truncated to the top N (default 20).
+
+Exits non-zero when the file is not a valid trace document, so CI can
+use it as a cheap format check as well.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def load_events(path):
+    """Return the list of complete (ph == "X") events of a trace."""
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        raise ValueError(f"{path}: not a trace_event document "
+                         "(missing 'traceEvents')")
+    events = []
+    for e in doc["traceEvents"]:
+        if e.get("ph") != "X":
+            continue
+        for key in ("name", "ts", "dur", "tid"):
+            if key not in e:
+                raise ValueError(f"{path}: X event missing '{key}'")
+        events.append(e)
+    return events
+
+
+def self_times(events):
+    """Per-event self time: duration minus same-thread nested spans.
+
+    Events are swept per thread in start order with an interval
+    stack; a span that starts inside the stack top is charged to the
+    parent's child time. Identical start times nest the longer span
+    outside (it must be the parent if either is).
+    """
+    self_us = {}
+    by_tid = defaultdict(list)
+    for e in events:
+        by_tid[e["tid"]].append(e)
+    for evs in by_tid.values():
+        evs.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []  # (end_ts, event_id, child_time)
+        child = {}
+        for e in evs:
+            start, end = e["ts"], e["ts"] + e["dur"]
+            while stack and stack[-1][0] <= start:
+                stack.pop()
+            if stack:
+                child[stack[-1][1]] = child.get(stack[-1][1], 0.0) \
+                    + e["dur"]
+            stack.append((end, id(e)))
+        for e in evs:
+            self_us[id(e)] = e["dur"] - child.get(id(e), 0.0)
+    return self_us
+
+
+def percentile(sorted_vals, q):
+    """Nearest-rank percentile of an already-sorted list."""
+    if not sorted_vals:
+        return 0.0
+    k = max(0, min(len(sorted_vals) - 1,
+                   int(round(q * (len(sorted_vals) - 1)))))
+    return sorted_vals[k]
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="Top spans of a leo::obs Chrome trace")
+    ap.add_argument("trace")
+    ap.add_argument("--top", type=int, default=20,
+                    help="rows to print (default 20)")
+    ap.add_argument("--sort", choices=["total", "self"],
+                    default="total", help="sort key (default total)")
+    args = ap.parse_args(argv)
+
+    try:
+        events = load_events(args.trace)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"trace_summary: {e}", file=sys.stderr)
+        return 1
+
+    selfs = self_times(events)
+    rows = defaultdict(lambda: {"count": 0, "total": 0.0,
+                                "self": 0.0, "durs": []})
+    for e in events:
+        r = rows[e["name"]]
+        r["count"] += 1
+        r["total"] += e["dur"]
+        r["self"] += selfs[id(e)]
+        r["durs"].append(e["dur"])
+
+    order = sorted(rows.items(), key=lambda kv: -kv[1][args.sort])
+    width = max([len(n) for n, _ in order] + [4])
+    print(f"{'span':<{width}}  {'count':>7}  {'total ms':>10}"
+          f"  {'self ms':>10}  {'p50 ms':>9}  {'p95 ms':>9}")
+    for name, r in order[:args.top]:
+        durs = sorted(r["durs"])
+        print(f"{name:<{width}}  {r['count']:>7}"
+              f"  {r['total'] / 1e3:>10.3f}  {r['self'] / 1e3:>10.3f}"
+              f"  {percentile(durs, 0.50) / 1e3:>9.3f}"
+              f"  {percentile(durs, 0.95) / 1e3:>9.3f}")
+    if len(order) > args.top:
+        print(f"... {len(order) - args.top} more span name(s)")
+    print(f"\n{len(events)} spans, {len(rows)} names, "
+          f"{len({e['tid'] for e in events})} thread(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
