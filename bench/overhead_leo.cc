@@ -106,8 +106,8 @@ runTimedFits(benchmark::State &state, const FitSetup &s, Fit &&fit)
 {
     obs::Registry &reg = obs::Registry::global();
     const obs::Histogram fit_ms =
-        reg.histogram("bench.fit.ms", obs::defaultTimeBucketsMs());
-    const obs::Counter fit_iters = reg.counter("bench.fit.iters");
+        reg.histogram(obs::names::kBenchFitMs, obs::defaultTimeBucketsMs());
+    const obs::Counter fit_iters = reg.counter(obs::names::kBenchFitIters);
 
     // Registry deltas around the timed loop; when the registry is the
     // null sink (LEO_OBS=off — the bare-pipeline overhead baseline)
@@ -140,13 +140,13 @@ runTimedFits(benchmark::State &state, const FitSetup &s, Fit &&fit)
     std::size_t total_iters = chrono_iters;
     if (via_obs) {
         const obs::HistogramSnapshot *h0 =
-            before.histogram("bench.fit.ms");
+            before.histogram(obs::names::kBenchFitMs);
         const obs::HistogramSnapshot *h1 =
-            after.histogram("bench.fit.ms");
+            after.histogram(obs::names::kBenchFitMs);
         total_ms = (h1 ? h1->sum : 0.0) - (h0 ? h0->sum : 0.0);
         total_iters = static_cast<std::size_t>(
-            after.counterOr("bench.fit.iters") -
-            before.counterOr("bench.fit.iters"));
+            after.counterOr(obs::names::kBenchFitIters) -
+            before.counterOr(obs::names::kBenchFitIters));
     }
 
     state.counters["configs"] = static_cast<double>(s.space.size());

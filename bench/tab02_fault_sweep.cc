@@ -32,7 +32,7 @@ std::uint64_t
 rejectedSoFar()
 {
     return obs::Registry::global().snapshot().counterOr(
-        "sanitize.samples.rejected");
+        obs::names::kSanitizeSamplesRejected);
 }
 
 struct NamedScenario
@@ -117,7 +117,7 @@ main()
     for (const NamedScenario &row : sweep()) {
         double rejected = 0, err = 0, ratio = 0, met = 0;
         for (std::size_t r = 0; r < reps; ++r) {
-            obs::Span span("bench.trial", "bench");
+            obs::Span span(obs::names::kBenchTrialSpan, "bench");
             span.arg("trial", static_cast<double>(r));
             const faults::FaultyHeartbeatMonitor monitor(
                 inner_monitor, row.scenario);

@@ -21,9 +21,9 @@ namespace
 struct SamplingObs
 {
     obs::Counter probes =
-        obs::Registry::global().counter("sampling.probes.measured");
+        obs::Registry::global().counter(obs::names::kSamplingProbesMeasured);
     obs::Counter rounds =
-        obs::Registry::global().counter("sampling.rounds.guided");
+        obs::Registry::global().counter(obs::names::kSamplingRoundsGuided);
 };
 
 SamplingObs &
@@ -60,7 +60,7 @@ VarianceGuidedSampler::collect(const MeasureFn &measure,
     std::vector<bool> seen(n, false);
 
     auto probe = [&](std::size_t idx) {
-        obs::Span span("sampling.probe", "sampling");
+        obs::Span span(obs::names::kSamplingProbeSpan, "sampling");
         span.arg("config", static_cast<double>(idx));
         telemetry::Sample s = measure(idx);
         require(s.configIndex == idx,

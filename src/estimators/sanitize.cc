@@ -27,9 +27,9 @@ sampleValid(std::size_t idx, double val, std::size_t space_size)
 struct SanitizeObs
 {
     obs::Counter rejected =
-        obs::Registry::global().counter("sanitize.samples.rejected");
+        obs::Registry::global().counter(obs::names::kSanitizeSamplesRejected);
     obs::Counter merged =
-        obs::Registry::global().counter("sanitize.samples.merged");
+        obs::Registry::global().counter(obs::names::kSanitizeSamplesMerged);
 };
 
 SanitizeObs &

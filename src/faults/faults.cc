@@ -20,9 +20,9 @@ namespace
 struct FaultObs
 {
     obs::Counter readings =
-        obs::Registry::global().counter("faults.readings.seen");
+        obs::Registry::global().counter(obs::names::kFaultsReadingsSeen);
     obs::Counter injected =
-        obs::Registry::global().counter("faults.readings.corrupted");
+        obs::Registry::global().counter(obs::names::kFaultsReadingsCorrupted);
 };
 
 FaultObs &

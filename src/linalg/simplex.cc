@@ -22,9 +22,9 @@ constexpr double kEps = 1e-9;
 struct LpObs
 {
     obs::Counter solves =
-        obs::Registry::global().counter("lp.solves.run");
+        obs::Registry::global().counter(obs::names::kLpSolvesRun);
     obs::Counter pivots =
-        obs::Registry::global().counter("lp.pivots.stepped");
+        obs::Registry::global().counter(obs::names::kLpPivotsStepped);
 };
 
 LpObs &
@@ -181,7 +181,7 @@ LpSolution
 LinearProgram::solve() const
 {
     lpObs().solves.add(1);
-    obs::Span span("lp.solve");
+    obs::Span span(obs::names::kLpSolveSpan);
     span.arg("vars", static_cast<double>(num_vars_));
     const std::size_t m_eq = eq_rows_.size();
     const std::size_t m_ub = ub_rows_.size();

@@ -19,6 +19,7 @@
 #ifndef LEO_OBS_OBS_HH
 #define LEO_OBS_OBS_HH
 
+#include "obs/names.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
 

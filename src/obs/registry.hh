@@ -25,9 +25,12 @@
  *    overhead budget of) the bare one.
  *
  * Naming scheme (DESIGN.md "Observability"): instrument names are
- * `subsystem.noun.verb` for counters (`em.fits.completed`),
- * `subsystem.noun.unit` for histograms (`em.iter.ms`) and gauges
- * (`em.workspace.bytes`).
+ * `leo.<subsystem>.<noun>.<verb>` for counters
+ * (`leo.em.fits.completed`), `leo.<subsystem>.<noun>.<unit>` for
+ * histograms (`leo.em.iter.ms`) and gauges (`leo.em.workspace.bytes`).
+ * Every name is declared once in names.hh and referenced as an
+ * `obs::names::k...` constant — the obs-naming lint check rejects raw
+ * literals at call sites.
  */
 
 #ifndef LEO_OBS_REGISTRY_HH

@@ -21,9 +21,9 @@ namespace
 struct PlanObs
 {
     obs::Counter plans =
-        obs::Registry::global().counter("optimizer.plans.computed");
+        obs::Registry::global().counter(obs::names::kOptimizerPlansComputed);
     obs::Counter infeasible =
-        obs::Registry::global().counter("optimizer.plans.infeasible");
+        obs::Registry::global().counter(obs::names::kOptimizerPlansInfeasible);
 };
 
 PlanObs &
@@ -63,7 +63,7 @@ planMinimalEnergy(const linalg::Vector &performance,
                   const linalg::Vector &power, double idle_power,
                   const PerformanceConstraint &constraint)
 {
-    obs::Span span("optimizer.plan", "optimizer");
+    obs::Span span(obs::names::kOptimizerPlanSpan, "optimizer");
     span.arg("configs", static_cast<double>(performance.size()));
     planObs().plans.add(1);
     require(performance.size() == power.size() && !performance.empty(),

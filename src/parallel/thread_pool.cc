@@ -24,15 +24,15 @@ thread_local bool inside_worker = false;
 struct PoolObs
 {
     obs::Counter posted =
-        obs::Registry::global().counter("pool.tasks.posted");
+        obs::Registry::global().counter(obs::names::kPoolTasksPosted);
     obs::Counter executed =
-        obs::Registry::global().counter("pool.tasks.executed");
+        obs::Registry::global().counter(obs::names::kPoolTasksExecuted);
     obs::Gauge depth =
-        obs::Registry::global().gauge("pool.queue.depth");
+        obs::Registry::global().gauge(obs::names::kPoolQueueDepth);
     obs::Histogram wait_ms = obs::Registry::global().histogram(
-        "pool.wait.ms", obs::defaultTimeBucketsMs());
+        obs::names::kPoolWaitMs, obs::defaultTimeBucketsMs());
     obs::Histogram task_ms = obs::Registry::global().histogram(
-        "pool.task.ms", obs::defaultTimeBucketsMs());
+        obs::names::kPoolTaskMs, obs::defaultTimeBucketsMs());
 };
 
 PoolObs &

@@ -53,7 +53,7 @@ EnergyController::nextConfig(stats::Rng &rng)
 void
 EnergyController::recordMeasurement(const telemetry::Sample &s)
 {
-    obs::Span span("controller.window", "runtime");
+    obs::Span span(obs::names::kControllerWindowSpan, "runtime");
     span.arg("config", static_cast<double>(s.configIndex));
     span.arg("state",
              state_ == State::Sampling ? 0.0 : 1.0);
@@ -179,7 +179,7 @@ EnergyController::beginSampling()
 void
 EnergyController::fit()
 {
-    obs::Span span("controller.fit", "runtime");
+    obs::Span span(obs::names::kControllerFitSpan, "runtime");
     span.arg("observations",
              static_cast<double>(observations_.size()));
 

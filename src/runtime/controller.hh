@@ -220,11 +220,11 @@ class EnergyController
      *  precede the handles below — they bind to it at construction). */
     obs::Registry obs_;
     obs::Counter fits_failed_ =
-        obs_.counter("controller.fits.failed");
+        obs_.counter(obs::names::kControllerFitsFailed);
     obs::Counter samples_rejected_ =
-        obs_.counter("controller.samples.rejected");
+        obs_.counter(obs::names::kControllerSamplesRejected);
     obs::Counter fallback_windows_ =
-        obs_.counter("controller.windows.fallback");
+        obs_.counter(obs::names::kControllerWindowsFallback);
     /** Windows left before a fallback triggers fresh probes. */
     std::size_t fallback_remaining_ = 0;
 };

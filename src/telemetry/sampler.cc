@@ -20,9 +20,9 @@ namespace
 struct ProfilerObs
 {
     obs::Counter probes =
-        obs::Registry::global().counter("profiler.configs.measured");
+        obs::Registry::global().counter(obs::names::kProfilerConfigsMeasured);
     obs::Counter sweeps =
-        obs::Registry::global().counter("profiler.sweeps.run");
+        obs::Registry::global().counter(obs::names::kProfilerSweepsRun);
 };
 
 ProfilerObs &
@@ -84,7 +84,7 @@ Profiler::measureAt(const workloads::ApplicationModel &model,
                     const std::vector<std::size_t> &indices,
                     stats::Rng &rng) const
 {
-    obs::Span span("profiler.measure", "telemetry");
+    obs::Span span(obs::names::kProfilerMeasureSpan, "telemetry");
     span.arg("probes", static_cast<double>(indices.size()));
     profilerObs().probes.add(indices.size());
 

@@ -32,7 +32,11 @@
  */
 static std::atomic<std::size_t> g_heap_allocs{0};
 
-void *
+// noinline keeps the optimizer from pairing the malloc inside the
+// replacement operator new with the free inside operator delete
+// across inlined call chains, which trips a spurious GCC
+// -Wmismatched-new-delete at -O2.
+[[gnu::noinline]] void *
 operator new(std::size_t size)
 {
     g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
@@ -41,13 +45,13 @@ operator new(std::size_t size)
     throw std::bad_alloc();
 }
 
-void
+[[gnu::noinline]] void
 operator delete(void *p) noexcept
 {
     std::free(p);
 }
 
-void
+[[gnu::noinline]] void
 operator delete(void *p, std::size_t) noexcept
 {
     std::free(p);

@@ -1,0 +1,10 @@
+// Known-bad fixture: a throw inside the controller. Linted under the
+// virtual path src/runtime/controller.cc.
+#include <stdexcept>
+
+void
+recordMeasurement(double rate)
+{
+    if (rate <= 0.0)
+        throw std::runtime_error("bad rate"); // crashes the loop
+}

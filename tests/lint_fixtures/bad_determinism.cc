@@ -1,0 +1,18 @@
+// Known-bad fixture: nondeterminism inside the deterministic core.
+// Linted under the virtual path src/estimators/<this file>.
+#include <chrono>
+#include <cstdlib>
+#include <unordered_map>
+
+int
+nondeterministicSum()
+{
+    std::unordered_map<int, int> weights; // iteration order varies
+    weights[1] = 2;
+    int total = static_cast<int>(std::rand());
+    for (const auto &kv : weights)
+        total += kv.second;
+    const auto now = std::chrono::system_clock::now();
+    (void)now;
+    return total;
+}

@@ -1,0 +1,11 @@
+// Known-bad fixture: no include guard, and a namespace-scope
+// using-directive that leaks into every includer.
+#include <vector>
+
+using namespace std;
+
+inline vector<int>
+twoInts()
+{
+    return {1, 2};
+}

@@ -1,0 +1,20 @@
+// Known-bad fixture: heap traffic inside a hot region.
+#include <string>
+#include <vector>
+
+double
+hotLoop(std::vector<double> &buf, int iters)
+{
+    double acc = 0.0;
+    // leo-lint: hot-begin
+    for (int i = 0; i < iters; ++i) {
+        std::vector<double> tmp(8, 1.0); // constructs in the loop
+        buf.resize(buf.size() + 1);      // may reallocate
+        double *raw = new double[4];     // naked allocation
+        std::string label = std::to_string(i);
+        acc += tmp[0] + static_cast<double>(label.size());
+        delete[] raw;
+    }
+    // leo-lint: hot-end
+    return acc;
+}

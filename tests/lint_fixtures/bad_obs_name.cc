@@ -1,0 +1,18 @@
+// Known-bad fixture: raw instrument-name literals — one off-scheme,
+// one valid but undeclared in src/obs/names.hh.
+struct Counter
+{
+    void add(int) {}
+};
+
+struct Registry
+{
+    Counter counter(const char *) { return {}; }
+};
+
+void
+instrument(Registry &reg)
+{
+    reg.counter("em.fits.completed").add(1);     // missing leo. prefix
+    reg.counter("leo.em.fits.imagined").add(1);  // not in names.hh
+}

@@ -1,0 +1,21 @@
+// Known-bad fixture: an estimator entry point that consumes raw
+// observations without sanitizing or delegating. Linted under the
+// virtual path src/estimators/<this file>.
+struct MetricEstimate
+{
+    double value = 0.0;
+};
+
+struct FancyEstimator
+{
+    MetricEstimate estimateMetric(const double *vals, int n) const;
+};
+
+MetricEstimate
+FancyEstimator::estimateMetric(const double *vals, int n) const
+{
+    MetricEstimate est;
+    for (int i = 0; i < n; ++i)
+        est.value += vals[i]; // a NaN reading walks straight in
+    return est;
+}

@@ -1,0 +1,17 @@
+// Known-good fixture: ordered containers and steady_clock are fine
+// in the deterministic core.
+#include <chrono>
+#include <map>
+
+int
+deterministicSum()
+{
+    std::map<int, int> weights;
+    weights[1] = 2;
+    int total = 0;
+    for (const auto &kv : weights)
+        total += kv.second;
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)t0;
+    return total;
+}

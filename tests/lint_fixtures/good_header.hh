@@ -1,0 +1,10 @@
+// Known-good fixture: guarded, fully qualified.
+#pragma once
+
+#include <vector>
+
+inline std::vector<int>
+twoInts()
+{
+    return {1, 2};
+}

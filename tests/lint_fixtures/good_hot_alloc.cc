@@ -1,0 +1,17 @@
+// Known-good fixture: a hot region that only touches preallocated
+// buffers; construction happens before the markers.
+#include <vector>
+
+double
+hotLoop(std::vector<double> &buf, int iters)
+{
+    std::vector<double> tmp(8, 1.0); // acquired before the region
+    double acc = 0.0;
+    // leo-lint: hot-begin
+    for (int i = 0; i < iters; ++i) {
+        for (std::size_t j = 0; j < tmp.size(); ++j)
+            acc += tmp[j] * buf[j % buf.size()];
+    }
+    // leo-lint: hot-end
+    return acc;
+}

@@ -1,0 +1,23 @@
+// Known-good fixture: call sites reference names.hh constants (no
+// literal to check) or a literal that is declared there.
+struct Counter
+{
+    void add(int) {}
+};
+
+struct Registry
+{
+    Counter counter(const char *) { return {}; }
+};
+
+namespace names
+{
+inline constexpr const char *kEmFitsCompleted = "leo.em.fits.completed";
+}
+
+void
+instrument(Registry &reg)
+{
+    reg.counter(names::kEmFitsCompleted).add(1);
+    reg.counter("leo.em.fits.completed").add(1); // declared literal
+}

@@ -1,0 +1,37 @@
+// Known-good fixture: one overload sanitizes, the other delegates.
+struct MetricEstimate
+{
+    double value = 0.0;
+};
+
+struct Clean
+{
+    double clean[4];
+    int n;
+};
+
+Clean sanitizeObservations(const double *vals, int n);
+
+struct FancyEstimator
+{
+    MetricEstimate estimateMetric(const double *vals, int n) const;
+    MetricEstimate estimateMetric(const double *vals, int n,
+                                  bool verbose) const;
+};
+
+MetricEstimate
+FancyEstimator::estimateMetric(const double *vals, int n) const
+{
+    return estimateMetric(vals, n, false); // delegates
+}
+
+MetricEstimate
+FancyEstimator::estimateMetric(const double *vals, int n,
+                               bool) const
+{
+    const Clean c = sanitizeObservations(vals, n);
+    MetricEstimate est;
+    for (int i = 0; i < c.n; ++i)
+        est.value += c.clean[i];
+    return est;
+}

@@ -1,0 +1,12 @@
+// Suppression fixture: the same violations as bad_determinism.cc,
+// each silenced by a per-line allow directive.
+#include <unordered_map> // leo-lint: allow(determinism)
+
+int
+allowedNondeterminism()
+{
+    std::unordered_map<int, int> w; // leo-lint: allow(determinism)
+    w[1] = 2;
+    int total = static_cast<int>(rand()); // leo-lint: allow(determinism)
+    return total + static_cast<int>(w.size());
+}

@@ -1,0 +1,16 @@
+// Suppression fixture: an audited one-off allocation inside a hot
+// region, explicitly waived.
+#include <vector>
+
+double
+hotLoop(int iters)
+{
+    double acc = 0.0;
+    // leo-lint: hot-begin
+    for (int i = 0; i < iters; ++i) {
+        std::vector<double> tmp(4, 1.0); // leo-lint: allow(hot-alloc)
+        acc += tmp[0];
+    }
+    // leo-lint: hot-end
+    return acc;
+}

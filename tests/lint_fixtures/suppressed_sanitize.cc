@@ -1,0 +1,21 @@
+// Suppression fixture: an entry point that deliberately consumes
+// pre-sanitized observations, waived at the definition.
+struct MetricEstimate
+{
+    double value = 0.0;
+};
+
+struct RawEstimator
+{
+    MetricEstimate estimateMetric(const double *vals, int n) const;
+};
+
+MetricEstimate
+RawEstimator::estimateMetric(const double *vals, // leo-lint: allow(sanitize-boundary)
+                             int n) const
+{
+    MetricEstimate est;
+    for (int i = 0; i < n; ++i)
+        est.value += vals[i];
+    return est;
+}

@@ -1,0 +1,416 @@
+/**
+ * @file
+ * Tests for leo-lint (tools/leo_lint.cc): the tokenizer, the six
+ * project-invariant checks, and the per-line suppression syntax.
+ *
+ * The linter is a single self-contained translation unit; the test
+ * includes it with LEO_LINT_NO_MAIN and drives lintSource() directly
+ * over the known-good / known-bad snippets in tests/lint_fixtures/
+ * (compiled-in path LEO_LINT_FIXTURES_DIR). Fixtures are linted
+ * under *virtual* paths — the path scoping is part of what is being
+ * tested (e.g. unordered_map is an error in src/estimators/ but fine
+ * in src/runtime/).
+ */
+
+#define LEO_LINT_NO_MAIN
+#include "leo_lint.cc" // leo-lint: allow(all)
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace
+{
+
+using leolint::Diagnostic;
+using leolint::LintContext;
+using leolint::lintSource;
+
+/** Read one fixture file (fails the test on a missing fixture). */
+std::string
+fixture(const std::string &name)
+{
+    const std::string path =
+        std::string(LEO_LINT_FIXTURES_DIR) + "/" + name;
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "missing fixture: " << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** Count diagnostics of one check. */
+std::size_t
+countCheck(const std::vector<Diagnostic> &ds, const std::string &check)
+{
+    std::size_t n = 0;
+    for (const Diagnostic &d : ds)
+        n += d.check == check;
+    return n;
+}
+
+LintContext
+testContext()
+{
+    LintContext ctx;
+    ctx.obsNamesLoaded = true;
+    ctx.obsNames = {"leo.em.fits.completed"};
+    return ctx;
+}
+
+// ---- determinism ------------------------------------------------ //
+
+TEST(LintDeterminism, FiresInsideTheDeterministicCore)
+{
+    const auto ds = lintSource("src/estimators/fixture.cc",
+                               fixture("bad_determinism.cc"),
+                               testContext());
+    // unordered_map, rand(, system_clock — at least three findings.
+    EXPECT_GE(countCheck(ds, "determinism"), 3u);
+}
+
+TEST(LintDeterminism, CleanCodePasses)
+{
+    const auto ds = lintSource("src/estimators/fixture.cc",
+                               fixture("good_determinism.cc"),
+                               testContext());
+    EXPECT_EQ(countCheck(ds, "determinism"), 0u);
+}
+
+TEST(LintDeterminism, OutsideTheCoreIsNotScoped)
+{
+    // The same bad code under src/runtime/ is out of scope.
+    const auto ds = lintSource("src/runtime/fixture.cc",
+                               fixture("bad_determinism.cc"),
+                               testContext());
+    EXPECT_EQ(countCheck(ds, "determinism"), 0u);
+}
+
+TEST(LintDeterminism, AllowDirectiveSilences)
+{
+    std::size_t suppressed = 0;
+    const auto ds = lintSource("src/linalg/fixture.cc",
+                               fixture("suppressed_determinism.cc"),
+                               testContext(), &suppressed);
+    EXPECT_EQ(countCheck(ds, "determinism"), 0u);
+    EXPECT_GE(suppressed, 2u);
+}
+
+// ---- hot-alloc -------------------------------------------------- //
+
+TEST(LintHotAlloc, FiresBetweenMarkers)
+{
+    const auto ds = lintSource("src/estimators/fixture.cc",
+                               fixture("bad_hot_alloc.cc"),
+                               testContext());
+    // vector ctor, .resize, new, std::string/std::to_string.
+    EXPECT_GE(countCheck(ds, "hot-alloc"), 4u);
+}
+
+TEST(LintHotAlloc, PreallocatedLoopPasses)
+{
+    const auto ds = lintSource("src/estimators/fixture.cc",
+                               fixture("good_hot_alloc.cc"),
+                               testContext());
+    EXPECT_EQ(countCheck(ds, "hot-alloc"), 0u);
+}
+
+TEST(LintHotAlloc, AllowDirectiveSilences)
+{
+    std::size_t suppressed = 0;
+    const auto ds = lintSource("src/estimators/fixture.cc",
+                               fixture("suppressed_hot_alloc.cc"),
+                               testContext(), &suppressed);
+    EXPECT_EQ(countCheck(ds, "hot-alloc"), 0u);
+    EXPECT_EQ(suppressed, 1u);
+}
+
+TEST(LintHotAlloc, OutsideMarkersIsFree)
+{
+    const auto ds = lintSource(
+        "src/estimators/fixture.cc",
+        "#include <vector>\n"
+        "std::vector<int> make() { return std::vector<int>(4); }\n",
+        testContext());
+    EXPECT_EQ(countCheck(ds, "hot-alloc"), 0u);
+}
+
+TEST(LintHotAlloc, DanglingMarkerIsReported)
+{
+    const auto ds = lintSource("src/x/fixture.cc",
+                               "// leo-lint: hot-end\nint x;\n",
+                               testContext());
+    EXPECT_EQ(countCheck(ds, "hot-alloc"), 1u);
+}
+
+// ---- sanitize-boundary ------------------------------------------ //
+
+TEST(LintSanitize, UnsanitizedEntryPointFires)
+{
+    const auto ds = lintSource("src/estimators/fixture.cc",
+                               fixture("bad_sanitize.cc"),
+                               testContext());
+    EXPECT_EQ(countCheck(ds, "sanitize-boundary"), 1u);
+}
+
+TEST(LintSanitize, SanitizingAndDelegatingOverloadsPass)
+{
+    const auto ds = lintSource("src/estimators/fixture.cc",
+                               fixture("good_sanitize.cc"),
+                               testContext());
+    EXPECT_EQ(countCheck(ds, "sanitize-boundary"), 0u);
+}
+
+TEST(LintSanitize, OnlyEstimatorSourcesAreScoped)
+{
+    const auto ds = lintSource("src/optimizer/fixture.cc",
+                               fixture("bad_sanitize.cc"),
+                               testContext());
+    EXPECT_EQ(countCheck(ds, "sanitize-boundary"), 0u);
+}
+
+TEST(LintSanitize, AllowDirectiveSilences)
+{
+    std::size_t suppressed = 0;
+    const auto ds = lintSource("src/estimators/fixture.cc",
+                               fixture("suppressed_sanitize.cc"),
+                               testContext(), &suppressed);
+    EXPECT_EQ(countCheck(ds, "sanitize-boundary"), 0u);
+    EXPECT_EQ(suppressed, 1u);
+}
+
+// ---- controller-nothrow ----------------------------------------- //
+
+TEST(LintNoThrow, ThrowInControllerFires)
+{
+    const auto ds = lintSource("src/runtime/controller.cc",
+                               fixture("bad_controller_throw.cc"),
+                               testContext());
+    EXPECT_EQ(countCheck(ds, "controller-nothrow"), 1u);
+}
+
+TEST(LintNoThrow, OtherFilesMayThrow)
+{
+    const auto ds = lintSource("src/runtime/phased_run.cc",
+                               fixture("bad_controller_throw.cc"),
+                               testContext());
+    EXPECT_EQ(countCheck(ds, "controller-nothrow"), 0u);
+}
+
+TEST(LintNoThrow, AllowDirectiveSilences)
+{
+    std::size_t suppressed = 0;
+    const auto ds = lintSource(
+        "src/runtime/controller.cc",
+        "void f() { throw 1; } // leo-lint: allow(controller-nothrow)\n",
+        testContext(), &suppressed);
+    EXPECT_EQ(countCheck(ds, "controller-nothrow"), 0u);
+    EXPECT_EQ(suppressed, 1u);
+}
+
+// ---- obs-naming ------------------------------------------------- //
+
+TEST(LintObsNaming, RawAndUndeclaredLiteralsFire)
+{
+    const auto ds = lintSource("src/telemetry/fixture.cc",
+                               fixture("bad_obs_name.cc"),
+                               testContext());
+    // One off-scheme literal + one undeclared-but-valid literal.
+    EXPECT_EQ(countCheck(ds, "obs-naming"), 2u);
+}
+
+TEST(LintObsNaming, ConstantsAndDeclaredLiteralsPass)
+{
+    const auto ds = lintSource("src/telemetry/fixture.cc",
+                               fixture("good_obs_name.cc"),
+                               testContext());
+    EXPECT_EQ(countCheck(ds, "obs-naming"), 0u);
+}
+
+TEST(LintObsNaming, SpanDeclarationsAreChecked)
+{
+    const auto ds = lintSource(
+        "src/runtime/fixture.cc",
+        "struct Span { Span(const char *, const char *); };\n"
+        "void f() { Span span(\"controller.window\", \"rt\"); }\n",
+        testContext());
+    EXPECT_EQ(countCheck(ds, "obs-naming"), 1u);
+}
+
+TEST(LintObsNaming, TestsAreOutOfScope)
+{
+    const auto ds = lintSource(
+        "tests/fixture.cc",
+        "struct R { int counter(const char *); };\n"
+        "int f(R r) { return r.counter(\"test.ad.hoc\"); }\n",
+        testContext());
+    EXPECT_EQ(countCheck(ds, "obs-naming"), 0u);
+}
+
+TEST(LintObsNaming, NamesHeaderLiteralsAreValidated)
+{
+    const auto ds = lintSource(
+        "src/obs/names.hh",
+        "#pragma once\n"
+        "inline constexpr const char *kBad = \"Em.Fits\";\n",
+        testContext());
+    EXPECT_EQ(countCheck(ds, "obs-naming"), 1u);
+}
+
+TEST(LintObsNaming, AllowDirectiveSilences)
+{
+    std::size_t suppressed = 0;
+    const auto ds = lintSource(
+        "src/telemetry/fixture.cc",
+        "struct R { int counter(const char *); };\n"
+        "int f(R r) { return r.counter(\"x.y\"); } "
+        "// leo-lint: allow(obs-naming)\n",
+        testContext(), &suppressed);
+    EXPECT_EQ(countCheck(ds, "obs-naming"), 0u);
+    EXPECT_EQ(suppressed, 1u);
+}
+
+// ---- header-hygiene --------------------------------------------- //
+
+TEST(LintHeaderHygiene, UnguardedUsingNamespaceHeaderFires)
+{
+    const auto ds = lintSource("src/workloads/fixture.hh",
+                               fixture("bad_header.hh"),
+                               testContext());
+    EXPECT_EQ(countCheck(ds, "header-hygiene"), 2u);
+}
+
+TEST(LintHeaderHygiene, GuardedHeaderPasses)
+{
+    const auto ds = lintSource("src/workloads/fixture.hh",
+                               fixture("good_header.hh"),
+                               testContext());
+    EXPECT_EQ(countCheck(ds, "header-hygiene"), 0u);
+}
+
+TEST(LintHeaderHygiene, IfndefGuardAccepted)
+{
+    const auto ds = lintSource("src/workloads/fixture.hh",
+                               "#ifndef A_HH\n#define A_HH\n"
+                               "int two();\n#endif\n",
+                               testContext());
+    EXPECT_EQ(countCheck(ds, "header-hygiene"), 0u);
+}
+
+TEST(LintHeaderHygiene, SourcesAreOutOfScope)
+{
+    const auto ds = lintSource("src/workloads/fixture.cc",
+                               fixture("bad_header.hh"),
+                               testContext());
+    EXPECT_EQ(countCheck(ds, "header-hygiene"), 0u);
+}
+
+// ---- tokenizer / directives ------------------------------------- //
+
+TEST(LintTokenizer, LiteralsAndCommentsAreInert)
+{
+    // Banned words inside strings and comments never fire.
+    const auto ds = lintSource(
+        "src/linalg/fixture.cc",
+        "// mentions rand() and unordered_map in a comment\n"
+        "/* system_clock too */\n"
+        "const char *s = \"rand() unordered_map system_clock\";\n"
+        "const char *r = R\"(time( rand( )\";\n", // leo-lint: allow(all)
+        testContext());
+    EXPECT_EQ(countCheck(ds, "determinism"), 0u);
+}
+
+TEST(LintTokenizer, MemberCallsAreNotLibcCalls)
+{
+    // The declaration of a member named rand() is flagged (line 1,
+    // silenced here); the member *call* r.rand() must not be.
+    const auto ds = lintSource(
+        "src/stats/fixture.cc",
+        "struct Rng { double rand(); }; // leo-lint: allow(determinism)\n"
+        "double f(Rng &r) { return r.rand(); }\n",
+        testContext());
+    EXPECT_EQ(countCheck(ds, "determinism"), 0u);
+}
+
+TEST(LintDirectives, AllowListSupportsMultipleChecks)
+{
+    std::size_t suppressed = 0;
+    const auto ds = lintSource(
+        "src/estimators/fixture.cc",
+        "std::unordered_map<int,int> m; "
+        "// leo-lint: allow(determinism, hot-alloc)\n",
+        testContext(), &suppressed);
+    EXPECT_TRUE(ds.empty());
+    EXPECT_EQ(suppressed, 1u);
+}
+
+TEST(LintDirectives, AllowOnOtherLineDoesNotSilence)
+{
+    const auto ds = lintSource(
+        "src/estimators/fixture.cc",
+        "// leo-lint: allow(determinism)\n"
+        "std::unordered_map<int,int> m;\n",
+        testContext());
+    EXPECT_EQ(countCheck(ds, "determinism"), 1u);
+}
+
+TEST(LintRegistry, ExposesAllSixChecks)
+{
+    std::set<std::string> names;
+    for (const leolint::Check &c : leolint::checks())
+        names.insert(c.name);
+    const std::set<std::string> expected = {
+        "determinism",      "hot-alloc",  "sanitize-boundary",
+        "controller-nothrow", "obs-naming", "header-hygiene"};
+    EXPECT_EQ(names, expected);
+}
+
+// ---- the real tree ---------------------------------------------- //
+
+TEST(LintTree, RepoRootLintsClean)
+{
+    // The acceptance gate, as a unit test: the checked-in tree has
+    // zero unsuppressed diagnostics. LEO_LINT_REPO_ROOT is the
+    // source dir baked in by tests/CMakeLists.txt.
+    const std::filesystem::path root(LEO_LINT_REPO_ROOT);
+    const LintContext ctx = leolint::makeContext(root);
+    ASSERT_TRUE(ctx.obsNamesLoaded)
+        << "src/obs/names.hh missing or unreadable";
+    EXPECT_TRUE(ctx.obsNames.count("leo.em.fits.completed"));
+
+    std::vector<std::string> offenders;
+    for (const char *sub : {"src", "tools", "bench"}) {
+        for (const auto &entry :
+             std::filesystem::recursive_directory_iterator(root /
+                                                           sub)) {
+            if (!entry.is_regular_file())
+                continue;
+            const std::string ext = entry.path().extension().string();
+            if (ext != ".cc" && ext != ".hh" && ext != ".h")
+                continue;
+            const auto src = leolint::readFile(entry.path());
+            ASSERT_TRUE(src.has_value()) << entry.path();
+            const std::string rel =
+                std::filesystem::relative(entry.path(), root)
+                    .generic_string();
+            for (const Diagnostic &d :
+                 lintSource(rel, *src, ctx)) {
+                offenders.push_back(d.file + ":" +
+                                    std::to_string(d.line) + " [" +
+                                    d.check + "] " + d.message);
+            }
+        }
+    }
+    EXPECT_TRUE(offenders.empty())
+        << "tree is not lint-clean:\n"
+        << [&] {
+               std::string all;
+               for (const std::string &o : offenders)
+                   all += o + "\n";
+               return all;
+           }();
+}
+
+} // namespace

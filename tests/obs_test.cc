@@ -397,7 +397,7 @@ TEST(ObsIntegration, FitCountersIdenticalAcrossThreadCounts)
         const obs::Snapshot after = reg.snapshot();
         std::vector<std::pair<std::string, std::uint64_t>> delta;
         for (const auto &kv : after.counters) {
-            if (kv.first.rfind("em.", 0) != 0)
+            if (kv.first.rfind("leo.em.", 0) != 0)
                 continue;
             delta.emplace_back(
                 kv.first,
@@ -435,9 +435,9 @@ TEST(ObsIntegration, ControllerCountersAreInstanceLocal)
     EXPECT_EQ(a.samplesRejected(), 2u);
     EXPECT_EQ(b.samplesRejected(), 0u);
     EXPECT_EQ(a.metrics().snapshot().counterOr(
-                  "controller.samples.rejected"),
+                  obs::names::kControllerSamplesRejected),
               2u);
     EXPECT_EQ(b.metrics().snapshot().counterOr(
-                  "controller.samples.rejected"),
+                  obs::names::kControllerSamplesRejected),
               0u);
 }

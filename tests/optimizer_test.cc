@@ -458,8 +458,9 @@ TEST(Degenerate, AllEqualPerformances)
     auto plan = optimizer::planMinimalEnergy(perf, power, 85.0, c);
     EXPECT_TRUE(plan.feasible);
     for (const auto &part : plan.parts) {
-        if (part.configIndex != kIdleConfig)
+        if (part.configIndex != kIdleConfig) {
             EXPECT_EQ(part.configIndex, 1u);
+        }
     }
 }
 

@@ -159,8 +159,8 @@ TEST_P(SuiteProperty, EmLikelihoodNonDecreasing)
 INSTANTIATE_TEST_SUITE_P(
     AllBenchmarks, SuiteProperty,
     ::testing::ValuesIn(workloads::suiteNames()),
-    [](const ::testing::TestParamInfo<std::string> &info) {
-        return info.param;
+    [](const ::testing::TestParamInfo<std::string> &param_info) {
+        return param_info.param;
     });
 
 // ------------------------------------------------ random LP instances

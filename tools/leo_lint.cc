@@ -1,0 +1,948 @@
+/**
+ * @file
+ * leo-lint: project-invariant static analysis for the LEO tree.
+ *
+ * The invariants built up by the previous PRs — bitwise-deterministic
+ * parallel reduction, the allocation-free EM hot loop,
+ * sanitize-at-every-estimator-boundary, the never-throwing
+ * controller, and the obs naming contract — are properties no
+ * off-the-shelf tool knows about. This tool enforces them at build
+ * time with a small check registry over a hand-rolled C++ tokenizer
+ * (no libclang dependency; the tool builds with the tree's own
+ * toolchain and nothing else).
+ *
+ * Checks (see DESIGN.md "Static analysis and enforced invariants"):
+ *
+ *   determinism        no wall-clock / libc randomness / unordered
+ *                      container use inside the deterministic core
+ *                      (src/estimators, src/linalg, src/parallel,
+ *                      src/optimizer, src/stats)
+ *   hot-alloc          no allocation inside regions bracketed by
+ *                      `// leo-lint: hot-begin` / `hot-end` markers
+ *   sanitize-boundary  every estimate()/estimateMetric() definition
+ *                      in src/estimators (.cc files) sanitizes its
+ *                      observations or delegates to one that does
+ *   controller-nothrow `throw` is forbidden in
+ *                      src/runtime/controller.cc
+ *   obs-naming         instrument name literals must match
+ *                      leo.<subsystem>.<name> and live in
+ *                      src/obs/names.hh (call sites use the
+ *                      constants, never raw literals)
+ *   header-hygiene     headers open with a guard and never say
+ *                      `using namespace`
+ *
+ * Suppression: append `// leo-lint: allow(<check>[, <check>...])` to
+ * the offending line. `allow(all)` silences every check on the line.
+ * Directives are recognized in line comments only.
+ *
+ * Usage:
+ *   leo_lint [--root DIR] [--json] [--list-checks] [paths...]
+ *
+ * With no paths, scans src/, tools/, bench/ and tests/ under the
+ * root (default: current directory), skipping tests/lint_fixtures/
+ * and build directories. Exit status: 0 clean, 1 findings, 2 usage
+ * or I/O error.
+ *
+ * The test harness includes this file with LEO_LINT_NO_MAIN defined
+ * and drives lintSource() directly over fixture snippets.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace leolint
+{
+
+// ---------------------------------------------------------------- //
+// Tokenizer                                                        //
+// ---------------------------------------------------------------- //
+
+/** Lexical class of a token. */
+enum class TokenKind
+{
+    Identifier, //!< Identifiers and keywords.
+    Number,     //!< Numeric literals.
+    String,     //!< String literal (text excludes the quotes).
+    Character,  //!< Character literal.
+    Punct       //!< Punctuation; `::` and `->` are single tokens.
+};
+
+/** One token with its source line. */
+struct Token
+{
+    TokenKind kind;
+    std::string text;
+    int line;
+};
+
+/** An inclusive line range bracketed by hot-begin/hot-end markers. */
+struct HotRegion
+{
+    int begin;
+    int end;
+};
+
+/** A tokenized source file plus its lint directives. */
+struct SourceUnit
+{
+    std::string rel; //!< Root-relative path with '/' separators.
+    std::vector<Token> tokens;
+    /** Line -> checks allowed ("all" allows everything). */
+    std::map<int, std::set<std::string>> allows;
+    std::vector<HotRegion> hotRegions;
+    /** Lines of unmatched hot markers (reported as findings). */
+    std::vector<int> danglingHotMarkers;
+};
+
+namespace
+{
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Trim ASCII whitespace from both ends. */
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/** Parse a `leo-lint:` directive found in a line comment. */
+void
+applyDirective(SourceUnit &unit, const std::string &comment, int line,
+               std::vector<int> &hot_stack)
+{
+    const std::string marker = "leo-lint:";
+    const std::size_t at = comment.find(marker);
+    if (at == std::string::npos)
+        return;
+    const std::string body = trim(comment.substr(at + marker.size()));
+    if (body.rfind("allow(", 0) == 0) {
+        const std::size_t close = body.find(')');
+        if (close == std::string::npos)
+            return;
+        std::string names = body.substr(6, close - 6);
+        std::replace(names.begin(), names.end(), ',', ' ');
+        std::istringstream in(names);
+        std::string name;
+        while (in >> name)
+            unit.allows[line].insert(name);
+    } else if (body.rfind("hot-begin", 0) == 0) {
+        hot_stack.push_back(line);
+    } else if (body.rfind("hot-end", 0) == 0) {
+        if (hot_stack.empty()) {
+            unit.danglingHotMarkers.push_back(line);
+        } else {
+            unit.hotRegions.push_back({hot_stack.back(), line});
+            hot_stack.pop_back();
+        }
+    }
+}
+
+} // namespace
+
+/**
+ * Tokenize one source file. Comments are consumed (and scanned for
+ * directives); string and character literals become single tokens so
+ * checks never mistake quoted text for code.
+ */
+SourceUnit
+tokenize(const std::string &rel, const std::string &src)
+{
+    SourceUnit unit;
+    unit.rel = rel;
+    std::vector<int> hot_stack;
+    int line = 1;
+    std::size_t i = 0;
+    const std::size_t n = src.size();
+
+    auto advanceLine = [&](char c) {
+        if (c == '\n')
+            ++line;
+    };
+
+    while (i < n) {
+        const char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Line comment (may carry a lint directive).
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            const std::size_t eol = src.find('\n', i);
+            const std::string text =
+                src.substr(i, (eol == std::string::npos ? n : eol) - i);
+            applyDirective(unit, text, line, hot_stack);
+            i = eol == std::string::npos ? n : eol;
+            continue;
+        }
+        // Block comment.
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            i += 2;
+            while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+                advanceLine(src[i]);
+                ++i;
+            }
+            i = std::min(n, i + 2);
+            continue;
+        }
+        // Raw string literal R"delim(...)delim".
+        if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+            std::size_t p = i + 2;
+            std::string delim;
+            while (p < n && src[p] != '(')
+                delim += src[p++];
+            const std::string close = ")" + delim + "\"";
+            const std::size_t end = src.find(close, p);
+            const int start_line = line;
+            const std::size_t stop =
+                end == std::string::npos ? n : end + close.size();
+            std::string text = src.substr(
+                p + 1, (end == std::string::npos ? n : end) - p - 1);
+            for (std::size_t q = i; q < stop; ++q)
+                advanceLine(src[q]);
+            unit.tokens.push_back(
+                {TokenKind::String, std::move(text), start_line});
+            i = stop;
+            continue;
+        }
+        // String / character literal.
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            std::string text;
+            ++i;
+            while (i < n && src[i] != quote) {
+                if (src[i] == '\\' && i + 1 < n) {
+                    text += src[i];
+                    text += src[i + 1];
+                    advanceLine(src[i + 1]);
+                    i += 2;
+                    continue;
+                }
+                advanceLine(src[i]);
+                text += src[i++];
+            }
+            ++i; // Closing quote.
+            unit.tokens.push_back({quote == '"' ? TokenKind::String
+                                                : TokenKind::Character,
+                                   std::move(text), line});
+            continue;
+        }
+        // Identifier / keyword.
+        if (identStart(c)) {
+            std::size_t b = i;
+            while (i < n && identChar(src[i]))
+                ++i;
+            unit.tokens.push_back(
+                {TokenKind::Identifier, src.substr(b, i - b), line});
+            continue;
+        }
+        // Number (simplified: digits, dots, exponent tails).
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+            std::size_t b = i;
+            while (i < n &&
+                   (identChar(src[i]) || src[i] == '.' ||
+                    ((src[i] == '+' || src[i] == '-') && i > b &&
+                     (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                      src[i - 1] == 'p' || src[i - 1] == 'P')))) {
+                ++i;
+            }
+            unit.tokens.push_back(
+                {TokenKind::Number, src.substr(b, i - b), line});
+            continue;
+        }
+        // Punctuation; keep `::` and `->` whole for the checks.
+        if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+            unit.tokens.push_back({TokenKind::Punct, "::", line});
+            i += 2;
+            continue;
+        }
+        if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+            unit.tokens.push_back({TokenKind::Punct, "->", line});
+            i += 2;
+            continue;
+        }
+        unit.tokens.push_back({TokenKind::Punct, std::string(1, c), line});
+        ++i;
+    }
+    for (int l : hot_stack)
+        unit.danglingHotMarkers.push_back(l);
+    return unit;
+}
+
+// ---------------------------------------------------------------- //
+// Diagnostics and the check registry                               //
+// ---------------------------------------------------------------- //
+
+/** One finding. */
+struct Diagnostic
+{
+    std::string check;
+    std::string file;
+    int line;
+    std::string message;
+};
+
+/** Context shared by every check. */
+struct LintContext
+{
+    /** Names declared in src/obs/names.hh. */
+    std::set<std::string> obsNames;
+    /** True once names.hh was parsed (obs-naming needs it). */
+    bool obsNamesLoaded = false;
+};
+
+using CheckFn = void (*)(const SourceUnit &, const LintContext &,
+                         std::vector<Diagnostic> &);
+
+/** A registered check. */
+struct Check
+{
+    std::string name;
+    std::string description;
+    CheckFn run;
+};
+
+namespace
+{
+
+bool
+hasExtension(const std::string &rel, const char *ext)
+{
+    const std::size_t len = std::string(ext).size();
+    return rel.size() >= len &&
+           rel.compare(rel.size() - len, len, ext) == 0;
+}
+
+bool
+isHeader(const std::string &rel)
+{
+    return hasExtension(rel, ".hh") || hasExtension(rel, ".h") ||
+           hasExtension(rel, ".hpp");
+}
+
+bool
+underAny(const std::string &rel,
+         std::initializer_list<const char *> prefixes)
+{
+    for (const char *p : prefixes)
+        if (rel.rfind(p, 0) == 0)
+            return true;
+    return false;
+}
+
+void
+report(std::vector<Diagnostic> &out, const SourceUnit &unit,
+       const char *check, int line, std::string message)
+{
+    out.push_back({check, unit.rel, line, std::move(message)});
+}
+
+/** True when `name` is valid per the leo.<subsystem>.<name> scheme. */
+bool
+validObsName(const std::string &name)
+{
+    if (name.rfind("leo.", 0) != 0)
+        return false;
+    std::size_t components = 0;
+    std::size_t b = 4;
+    while (b <= name.size()) {
+        const std::size_t dot = std::min(name.find('.', b), name.size());
+        if (dot == b)
+            return false; // Empty component.
+        for (std::size_t i = b; i < dot; ++i) {
+            const char c = name[i];
+            const bool ok =
+                (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                c == '_';
+            if (!ok)
+                return false;
+        }
+        ++components;
+        b = dot + 1;
+    }
+    return components >= 2; // At least subsystem + name.
+}
+
+// ---- determinism ----------------------------------------------- //
+
+void
+checkDeterminism(const SourceUnit &unit, const LintContext &,
+                 std::vector<Diagnostic> &out)
+{
+    if (!underAny(unit.rel,
+                  {"src/estimators/", "src/linalg/", "src/parallel/",
+                   "src/optimizer/", "src/stats/"}))
+        return;
+    static const std::set<std::string> banned_idents = {
+        "random_device", "system_clock", "high_resolution_clock",
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+    static const std::set<std::string> banned_calls = {
+        "rand", "srand", "rand_r", "drand48", "time", "clock"};
+    const std::vector<Token> &t = unit.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != TokenKind::Identifier)
+            continue;
+        if (banned_idents.count(t[i].text)) {
+            report(out, unit, "determinism", t[i].line,
+                   "'" + t[i].text +
+                       "' in the deterministic core: iteration order "
+                       "/ values are nondeterministic (use std::map, "
+                       "sorted vectors, steady_clock or seeded "
+                       "stats::Rng instead)");
+            continue;
+        }
+        // Bare libc calls: `rand(`, `time(` etc. Member calls like
+        // `rng.rand(...)` would be a different function; only flag
+        // the unqualified or std-qualified form.
+        if (banned_calls.count(t[i].text) && i + 1 < t.size() &&
+            t[i + 1].kind == TokenKind::Punct && t[i + 1].text == "(") {
+            const bool member =
+                i > 0 && t[i - 1].kind == TokenKind::Punct &&
+                (t[i - 1].text == "." || t[i - 1].text == "->");
+            if (!member) {
+                report(out, unit, "determinism", t[i].line,
+                       "call to '" + t[i].text +
+                           "(' in the deterministic core: wall-clock "
+                           "and libc randomness break bitwise "
+                           "reproducibility (use stats::Rng with an "
+                           "explicit seed)");
+            }
+        }
+    }
+}
+
+// ---- hot-alloc -------------------------------------------------- //
+
+void
+checkHotAlloc(const SourceUnit &unit, const LintContext &,
+              std::vector<Diagnostic> &out)
+{
+    for (int l : unit.danglingHotMarkers)
+        report(out, unit, "hot-alloc", l,
+               "unmatched hot-begin/hot-end marker");
+    if (unit.hotRegions.empty())
+        return;
+    static const std::set<std::string> containers = {
+        "vector",        "deque",         "list",
+        "map",           "set",           "multimap",
+        "multiset",      "unordered_map", "unordered_set",
+        "unordered_multimap", "unordered_multiset", "basic_string"};
+    static const std::set<std::string> alloc_calls = {
+        "malloc", "calloc", "realloc", "strdup", "make_unique",
+        "make_shared"};
+    auto inHot = [&](int line) {
+        for (const HotRegion &r : unit.hotRegions)
+            if (line >= r.begin && line <= r.end)
+                return true;
+        return false;
+    };
+    const std::vector<Token> &t = unit.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != TokenKind::Identifier || !inHot(t[i].line))
+            continue;
+        const std::string &w = t[i].text;
+        const bool after_scope = i > 0 &&
+                                 t[i - 1].kind == TokenKind::Punct &&
+                                 t[i - 1].text == "::";
+        const bool after_member =
+            i > 0 && t[i - 1].kind == TokenKind::Punct &&
+            (t[i - 1].text == "." || t[i - 1].text == "->");
+        if (w == "new") {
+            report(out, unit, "hot-alloc", t[i].line,
+                   "'new' inside a hot region: the loop must stay "
+                   "allocation-free (acquire the buffer from the "
+                   "Workspace before the loop)");
+        } else if (w == "resize" && after_member) {
+            report(out, unit, "hot-alloc", t[i].line,
+                   "'.resize(' inside a hot region may reallocate; "
+                   "size the buffer before the loop");
+        } else if ((w == "string" || w == "to_string") && after_scope) {
+            report(out, unit, "hot-alloc", t[i].line,
+                   "std::" + w +
+                       " temporary inside a hot region allocates; "
+                       "build strings outside the loop");
+        } else if (containers.count(w) && after_scope) {
+            report(out, unit, "hot-alloc", t[i].line,
+                   "std::" + w +
+                       " constructed inside a hot region allocates; "
+                       "acquire it from the Workspace before the "
+                       "loop");
+        } else if (alloc_calls.count(w) && i + 1 < t.size() &&
+                   t[i + 1].text == "(") {
+            report(out, unit, "hot-alloc", t[i].line,
+                   "'" + w + "(' inside a hot region allocates");
+        }
+    }
+}
+
+// ---- sanitize-boundary ------------------------------------------ //
+
+void
+checkSanitizeBoundary(const SourceUnit &unit, const LintContext &,
+                      std::vector<Diagnostic> &out)
+{
+    if (unit.rel.rfind("src/estimators/", 0) != 0 ||
+        !hasExtension(unit.rel, ".cc"))
+        return;
+    static const std::set<std::string> entry_points = {"estimate",
+                                                       "estimateMetric"};
+    const std::vector<Token> &t = unit.tokens;
+    for (std::size_t i = 1; i < t.size(); ++i) {
+        if (t[i].kind != TokenKind::Identifier ||
+            !entry_points.count(t[i].text))
+            continue;
+        // Out-of-class definitions look like `Class::name(` — a
+        // preceding `::` and a following `(`.
+        if (t[i - 1].text != "::" || i + 1 >= t.size() ||
+            t[i + 1].text != "(")
+            continue;
+        // Skip the parameter list.
+        std::size_t j = i + 1;
+        int parens = 0;
+        for (; j < t.size(); ++j) {
+            if (t[j].kind != TokenKind::Punct)
+                continue;
+            if (t[j].text == "(")
+                ++parens;
+            else if (t[j].text == ")" && --parens == 0)
+                break;
+        }
+        // Scan qualifiers up to the body; a `;` means this was just
+        // a qualified call or declaration.
+        std::size_t body = j + 1;
+        while (body < t.size() && t[body].text != "{" &&
+               t[body].text != ";")
+            ++body;
+        if (body >= t.size() || t[body].text != "{")
+            continue;
+        // Walk the body looking for sanitizeObservations or a
+        // delegating estimate*/fit call.
+        int braces = 0;
+        bool sanitized = false;
+        std::size_t k = body;
+        for (; k < t.size(); ++k) {
+            if (t[k].kind == TokenKind::Punct) {
+                if (t[k].text == "{")
+                    ++braces;
+                else if (t[k].text == "}" && --braces == 0)
+                    break;
+                continue;
+            }
+            if (t[k].kind != TokenKind::Identifier)
+                continue;
+            if (t[k].text == "sanitizeObservations" ||
+                (k != i && entry_points.count(t[k].text) &&
+                 k + 1 < t.size() && t[k + 1].text == "(")) {
+                sanitized = true;
+            }
+        }
+        if (!sanitized) {
+            report(out, unit, "sanitize-boundary", t[i].line,
+                   "estimator entry point '" + t[i].text +
+                       "' neither calls sanitizeObservations() nor "
+                       "delegates to an overload that does "
+                       "(sanitize.hh: every estimator boundary "
+                       "sanitizes its observations)");
+        }
+        i = k;
+    }
+}
+
+// ---- controller-nothrow ----------------------------------------- //
+
+void
+checkControllerNoThrow(const SourceUnit &unit, const LintContext &,
+                       std::vector<Diagnostic> &out)
+{
+    if (unit.rel != "src/runtime/controller.cc")
+        return;
+    for (const Token &tok : unit.tokens) {
+        if (tok.kind == TokenKind::Identifier && tok.text == "throw") {
+            report(out, unit, "controller-nothrow", tok.line,
+                   "'throw' in the controller: no estimator or "
+                   "planner failure may escape the control loop "
+                   "(route it through the fit() guard and the "
+                   "degradation policy instead)");
+        }
+    }
+}
+
+// ---- obs-naming ------------------------------------------------- //
+
+void
+checkObsNaming(const SourceUnit &unit, const LintContext &ctx,
+               std::vector<Diagnostic> &out)
+{
+    if (!underAny(unit.rel, {"src/", "tools/", "bench/"}))
+        return;
+    const bool is_names_header = unit.rel == "src/obs/names.hh";
+    static const std::set<std::string> instruments = {
+        "counter", "gauge", "histogram", "counterOr", "gaugeOr",
+        "histogramOr", "Span"};
+    const std::vector<Token> &t = unit.tokens;
+    if (is_names_header) {
+        // The central header itself: every literal must be a valid
+        // leo.<subsystem>.<name>.
+        for (const Token &tok : t) {
+            if (tok.kind == TokenKind::String &&
+                !validObsName(tok.text)) {
+                report(out, unit, "obs-naming", tok.line,
+                       "'" + tok.text +
+                           "' does not match leo.<subsystem>.<name> "
+                           "(lowercase [a-z0-9_] components joined "
+                           "by dots)");
+            }
+        }
+        return;
+    }
+    for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+        if (t[i].kind != TokenKind::Identifier ||
+            !instruments.count(t[i].text))
+            continue;
+        // `counter("x")` and — for RAII spans — the declaration form
+        // `Span span("x", ...)` with a variable name in between.
+        std::size_t open = i + 1;
+        if (t[i].text == "Span" &&
+            t[open].kind == TokenKind::Identifier)
+            ++open;
+        if (open + 1 >= t.size() || t[open].text != "(" ||
+            t[open + 1].kind != TokenKind::String)
+            continue;
+        const std::string &name = t[open + 1].text;
+        if (!validObsName(name)) {
+            report(out, unit, "obs-naming", t[open + 1].line,
+                   "instrument name '" + name +
+                       "' must match leo.<subsystem>.<name>; use the "
+                       "constant from src/obs/names.hh");
+        } else if (ctx.obsNamesLoaded && !ctx.obsNames.count(name)) {
+            report(out, unit, "obs-naming", t[open + 1].line,
+                   "instrument name '" + name +
+                       "' is not declared in src/obs/names.hh; add "
+                       "it there and reference the constant");
+        }
+    }
+}
+
+// ---- header-hygiene --------------------------------------------- //
+
+void
+checkHeaderHygiene(const SourceUnit &unit, const LintContext &,
+                   std::vector<Diagnostic> &out)
+{
+    if (!isHeader(unit.rel))
+        return;
+    const std::vector<Token> &t = unit.tokens;
+    if (t.empty())
+        return;
+    const bool pragma_once = t.size() >= 3 && t[0].text == "#" &&
+                             t[1].text == "pragma" &&
+                             t[2].text == "once";
+    const bool ifndef_guard = t.size() >= 3 && t[0].text == "#" &&
+                              t[1].text == "ifndef";
+    if (!pragma_once && !ifndef_guard) {
+        report(out, unit, "header-hygiene", t[0].line,
+               "header must open with '#pragma once' or an #ifndef "
+               "include guard (before any other code)");
+    }
+    for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+        if (t[i].kind == TokenKind::Identifier &&
+            t[i].text == "using" &&
+            t[i + 1].kind == TokenKind::Identifier &&
+            t[i + 1].text == "namespace") {
+            report(out, unit, "header-hygiene", t[i].line,
+                   "'using namespace' in a header leaks into every "
+                   "includer; qualify names instead");
+        }
+    }
+}
+
+} // namespace
+
+/** The registry: every check leo-lint knows about. */
+const std::vector<Check> &
+checks()
+{
+    static const std::vector<Check> registry = {
+        {"determinism",
+         "no clocks/randomness/unordered containers in the "
+         "deterministic core",
+         &checkDeterminism},
+        {"hot-alloc",
+         "no allocation between hot-begin/hot-end markers",
+         &checkHotAlloc},
+        {"sanitize-boundary",
+         "estimator entry points sanitize their observations",
+         &checkSanitizeBoundary},
+        {"controller-nothrow",
+         "no 'throw' inside the runtime controller", &checkControllerNoThrow},
+        {"obs-naming",
+         "instrument names are leo.<subsystem>.<name> constants from "
+         "src/obs/names.hh",
+         &checkObsNaming},
+        {"header-hygiene",
+         "headers have include guards and no 'using namespace'",
+         &checkHeaderHygiene},
+    };
+    return registry;
+}
+
+/**
+ * Lint one in-memory source. `rel` selects which path-scoped checks
+ * apply (e.g. "src/estimators/foo.cc"). Suppressed findings are
+ * dropped; `suppressed`, when given, receives their count.
+ */
+std::vector<Diagnostic>
+lintSource(const std::string &rel, const std::string &src,
+           const LintContext &ctx, std::size_t *suppressed = nullptr)
+{
+    const SourceUnit unit = tokenize(rel, src);
+    std::vector<Diagnostic> raw;
+    for (const Check &c : checks())
+        c.run(unit, ctx, raw);
+    std::vector<Diagnostic> kept;
+    std::size_t dropped = 0;
+    for (Diagnostic &d : raw) {
+        const auto it = unit.allows.find(d.line);
+        if (it != unit.allows.end() &&
+            (it->second.count(d.check) || it->second.count("all"))) {
+            ++dropped;
+            continue;
+        }
+        kept.push_back(std::move(d));
+    }
+    std::sort(kept.begin(), kept.end(),
+              [](const Diagnostic &a, const Diagnostic &b) {
+                  return std::tie(a.file, a.line, a.check) <
+                         std::tie(b.file, b.line, b.check);
+              });
+    if (suppressed)
+        *suppressed += dropped;
+    return kept;
+}
+
+/** Read a whole file; nullopt on I/O failure. */
+std::optional<std::string>
+readFile(const std::filesystem::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+/** Build the shared context (loads src/obs/names.hh when present). */
+LintContext
+makeContext(const std::filesystem::path &root)
+{
+    LintContext ctx;
+    const auto names = readFile(root / "src" / "obs" / "names.hh");
+    if (!names)
+        return ctx;
+    const SourceUnit unit = tokenize("src/obs/names.hh", *names);
+    for (const Token &tok : unit.tokens)
+        if (tok.kind == TokenKind::String)
+            ctx.obsNames.insert(tok.text);
+    ctx.obsNamesLoaded = true;
+    return ctx;
+}
+
+} // namespace leolint
+
+#ifndef LEO_LINT_NO_MAIN
+
+namespace
+{
+
+/** JSON string escaping for the --json report. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+bool
+lintableFile(const std::filesystem::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".h" ||
+           ext == ".cpp" || ext == ".hpp";
+}
+
+bool
+excludedPath(const std::string &rel)
+{
+    return rel.find("lint_fixtures") != std::string::npos ||
+           rel.rfind("build", 0) == 0 ||
+           rel.find("/build") != std::string::npos ||
+           rel.find("CMakeFiles") != std::string::npos;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    namespace fs = std::filesystem;
+    fs::path root = fs::current_path();
+    bool json = false;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--list-checks") {
+            for (const leolint::Check &c : leolint::checks())
+                std::cout << c.name << "\t" << c.description << "\n";
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout
+                << "usage: leo_lint [--root DIR] [--json] "
+                   "[--list-checks] [paths...]\n"
+                   "Project-invariant static analysis; see DESIGN.md "
+                   "\"Static analysis and enforced invariants\".\n";
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "leo_lint: unknown option '" << arg << "'\n";
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty())
+        paths = {"src", "tools", "bench", "tests"};
+
+    std::error_code ec;
+    root = fs::canonical(root, ec);
+    if (ec) {
+        std::cerr << "leo_lint: bad root: " << ec.message() << "\n";
+        return 2;
+    }
+
+    // Collect the file set (sorted for stable output).
+    std::vector<fs::path> files;
+    for (const std::string &p : paths) {
+        const fs::path base =
+            fs::path(p).is_absolute() ? fs::path(p) : root / p;
+        if (fs::is_regular_file(base, ec)) {
+            files.push_back(base);
+            continue;
+        }
+        if (!fs::is_directory(base, ec))
+            continue; // Optional tree (e.g. no tests/ checkout).
+        for (auto it = fs::recursive_directory_iterator(base, ec);
+             !ec && it != fs::recursive_directory_iterator(); ++it) {
+            if (it->is_regular_file() && lintableFile(it->path()))
+                files.push_back(it->path());
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    const leolint::LintContext ctx = leolint::makeContext(root);
+    std::vector<leolint::Diagnostic> findings;
+    std::size_t suppressed = 0;
+    std::size_t scanned = 0;
+    for (const fs::path &f : files) {
+        std::string rel = fs::relative(f, root, ec).generic_string();
+        if (ec || rel.rfind("..", 0) == 0)
+            rel = f.generic_string();
+        if (excludedPath(rel))
+            continue;
+        const auto src = leolint::readFile(f);
+        if (!src) {
+            std::cerr << "leo_lint: cannot read " << f << "\n";
+            return 2;
+        }
+        ++scanned;
+        std::vector<leolint::Diagnostic> d =
+            leolint::lintSource(rel, *src, ctx, &suppressed);
+        findings.insert(findings.end(),
+                        std::make_move_iterator(d.begin()),
+                        std::make_move_iterator(d.end()));
+    }
+
+    if (json) {
+        std::cout << "{\n  \"diagnostics\": [";
+        for (std::size_t i = 0; i < findings.size(); ++i) {
+            const leolint::Diagnostic &d = findings[i];
+            std::cout << (i ? ",\n    " : "\n    ") << "{\"file\": \""
+                      << jsonEscape(d.file) << "\", \"line\": "
+                      << d.line << ", \"check\": \""
+                      << jsonEscape(d.check) << "\", \"message\": \""
+                      << jsonEscape(d.message) << "\"}";
+        }
+        std::cout << (findings.empty() ? "" : "\n  ") << "],\n"
+                  << "  \"filesScanned\": " << scanned << ",\n"
+                  << "  \"suppressed\": " << suppressed << ",\n"
+                  << "  \"clean\": "
+                  << (findings.empty() ? "true" : "false") << "\n}\n";
+    } else {
+        for (const leolint::Diagnostic &d : findings) {
+            std::cout << d.file << ":" << d.line << ": [" << d.check
+                      << "] " << d.message << "\n";
+        }
+        std::cout << "leo-lint: " << findings.size() << " issue"
+                  << (findings.size() == 1 ? "" : "s") << ", "
+                  << suppressed << " suppressed, " << scanned
+                  << " files scanned\n";
+    }
+    return findings.empty() ? 0 : 1;
+}
+
+#endif // LEO_LINT_NO_MAIN

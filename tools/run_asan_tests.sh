@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Build and run the robustness-sensitive test binaries under
 # AddressSanitizer + UndefinedBehaviorSanitizer (the
 # -DLEO_SANITIZE=address preset of the top-level CMakeLists.txt, which
@@ -9,7 +9,7 @@
 # Usage: tools/run_asan_tests.sh [build-dir]
 #   build-dir  defaults to build-asan (kept separate from the plain
 #              build so the two configurations never collide)
-set -eu
+set -euo pipefail
 
 src_dir=$(cd "$(dirname "$0")/.." && pwd)
 build_dir=${1:-"$src_dir/build-asan"}

@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Build and run the concurrency-sensitive test binaries under
 # ThreadSanitizer (the -DLEO_SANITIZE=thread preset of the top-level
 # CMakeLists.txt). This is the acceptance gate for src/parallel/ and
@@ -8,7 +8,7 @@
 # Usage: tools/run_tsan_tests.sh [build-dir]
 #   build-dir  defaults to build-tsan (kept separate from the plain
 #              build so the two configurations never collide)
-set -eu
+set -euo pipefail
 
 src_dir=$(cd "$(dirname "$0")/.." && pwd)
 build_dir=${1:-"$src_dir/build-tsan"}
@@ -21,11 +21,9 @@ cmake --build "$build_dir" -j \
 
 # TSAN_OPTIONS: fail the script on any report (exitcode) and keep
 # going within a binary so one race does not mask another.
-TSAN_OPTIONS="halt_on_error=0 exitcode=66 ${TSAN_OPTIONS:-}" \
-    "$build_dir/tests/parallel_test"
-TSAN_OPTIONS="halt_on_error=0 exitcode=66 ${TSAN_OPTIONS:-}" \
-    "$build_dir/tests/estimators_test"
-TSAN_OPTIONS="halt_on_error=0 exitcode=66 ${TSAN_OPTIONS:-}" \
-    "$build_dir/tests/obs_test"
+for t in parallel_test estimators_test obs_test; do
+    TSAN_OPTIONS="halt_on_error=0 exitcode=66 ${TSAN_OPTIONS:-}" \
+        "$build_dir/tests/$t"
+done
 
 echo "TSan run clean: parallel_test + estimators_test + obs_test"
