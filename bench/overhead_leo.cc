@@ -38,6 +38,7 @@
  */
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -50,6 +51,7 @@
 #include "linalg/workspace.hh"
 #include "optimizer/schedule.hh"
 #include "platform/config_space.hh"
+#include "runtime/incremental.hh"
 #include "telemetry/profile_store.hh"
 #include "telemetry/sampler.hh"
 #include "workloads/ground_truth.hh"
@@ -99,14 +101,17 @@ makeSetup(unsigned core_stride, unsigned speed_stride)
     return s;
 }
 
-/** Time one fit call and fold per-EM-iteration cost into counters. */
+/** Time one fit call and fold per-EM-iteration cost into counters;
+ *  `ms_key` selects the histogram the timings flow through (the fit
+ *  variants each own a key so bench_diff can track them separately). */
 template <typename Fit>
 void
-runTimedFits(benchmark::State &state, const FitSetup &s, Fit &&fit)
+runTimedFits(benchmark::State &state, std::size_t configs, Fit &&fit,
+             const char *ms_key = obs::names::kBenchFitMs)
 {
     obs::Registry &reg = obs::Registry::global();
     const obs::Histogram fit_ms =
-        reg.histogram(obs::names::kBenchFitMs, obs::defaultTimeBucketsMs());
+        reg.histogram(ms_key, obs::defaultTimeBucketsMs());
     const obs::Counter fit_iters = reg.counter(obs::names::kBenchFitIters);
 
     // Registry deltas around the timed loop; when the registry is the
@@ -139,17 +144,15 @@ runTimedFits(benchmark::State &state, const FitSetup &s, Fit &&fit)
     double total_ms = chrono_ms;
     std::size_t total_iters = chrono_iters;
     if (via_obs) {
-        const obs::HistogramSnapshot *h0 =
-            before.histogram(obs::names::kBenchFitMs);
-        const obs::HistogramSnapshot *h1 =
-            after.histogram(obs::names::kBenchFitMs);
+        const obs::HistogramSnapshot *h0 = before.histogram(ms_key);
+        const obs::HistogramSnapshot *h1 = after.histogram(ms_key);
         total_ms = (h1 ? h1->sum : 0.0) - (h0 ? h0->sum : 0.0);
         total_iters = static_cast<std::size_t>(
             after.counterOr(obs::names::kBenchFitIters) -
             before.counterOr(obs::names::kBenchFitIters));
     }
 
-    state.counters["configs"] = static_cast<double>(s.space.size());
+    state.counters["configs"] = static_cast<double>(configs);
     state.counters["em_iters"] = static_cast<double>(total_iters) /
                                  static_cast<double>(state.iterations());
     if (total_iters > 0)
@@ -167,7 +170,7 @@ BM_LeoFit(benchmark::State &state)
         static_cast<unsigned>(state.range(1));
     const FitSetup s = makeSetup(core_stride, speed_stride);
     estimators::LeoEstimator est;
-    runTimedFits(state, s, [&]() {
+    runTimedFits(state, s.space.size(), [&]() {
         return est.fitMetric(s.prior, s.obs_idx, s.obs_vals);
     });
 }
@@ -184,9 +187,29 @@ BM_LeoFitReference(benchmark::State &state)
     estimators::LeoOptions opts;
     opts.referencePath = true;
     estimators::LeoEstimator est(opts);
-    runTimedFits(state, s, [&]() {
+    runTimedFits(state, s.space.size(), [&]() {
         return est.fitMetric(s.prior, s.obs_idx, s.obs_vals);
     });
+}
+
+/** Cold fit on the low-rank (Woodbury) covariance representation;
+ *  timings flow through the `lowrank` histogram key. */
+void
+BM_LeoFitLowRank(benchmark::State &state)
+{
+    const unsigned core_stride = static_cast<unsigned>(state.range(0));
+    const unsigned speed_stride =
+        static_cast<unsigned>(state.range(1));
+    const FitSetup s = makeSetup(core_stride, speed_stride);
+    estimators::LeoOptions opts;
+    opts.representation = estimators::CovarianceRep::LowRank;
+    estimators::LeoEstimator est(opts);
+    runTimedFits(
+        state, s.space.size(),
+        [&]() {
+            return est.fitMetric(s.prior, s.obs_idx, s.obs_vals);
+        },
+        obs::names::kBenchLowRankMs);
 }
 
 /**
@@ -202,7 +225,11 @@ BM_LeoWarmRound(benchmark::State &state)
     const unsigned speed_stride =
         static_cast<unsigned>(state.range(1));
     const FitSetup s = makeSetup(core_stride, speed_stride);
-    estimators::LeoEstimator est;
+    // Auto resolves to the low-rank representation at these sizes
+    // (4 q << n), exactly as the production controller would run.
+    estimators::LeoOptions opts;
+    opts.representation = estimators::CovarianceRep::Auto;
+    estimators::LeoEstimator est(opts);
     linalg::Workspace ws;
     const std::vector<std::size_t> prev_idx(s.obs_idx.begin(),
                                             s.obs_idx.end() - 4);
@@ -211,10 +238,100 @@ BM_LeoWarmRound(benchmark::State &state)
         prev_vals[i] = s.obs_vals[i];
     const estimators::LeoFit prev = est.fitMetric(
         s.prior, prev_idx, prev_vals, &ws, nullptr);
-    runTimedFits(state, s, [&]() {
+    runTimedFits(state, s.space.size(), [&]() {
         return est.fitMetric(s.prior, s.obs_idx, s.obs_vals, &ws,
                              &prev);
     });
+}
+
+/**
+ * One per-window incremental refit at n = 1024: fold a fresh sample
+ * into the frozen-theta conditioner (rank-1 Cholesky update, plus a
+ * downdate once the window slides) and re-predict all n
+ * configurations. This is the controller's per-window cost between
+ * full fits; timings flow through the `incremental` histogram key.
+ */
+void
+BM_LeoIncrementalRefit(benchmark::State &state)
+{
+    const FitSetup s = makeSetup(1, 1);
+    estimators::LeoOptions opts;
+    opts.representation = estimators::CovarianceRep::LowRank;
+    estimators::LeoEstimator est(opts);
+    const estimators::LeoFit fit =
+        est.fitMetric(s.prior, s.obs_idx, s.obs_vals);
+
+    runtime::IncrementalRefit refit;
+    if (!refit.reset(fit, 32, runtime::RefitMode::Incremental)) {
+        state.SkipWithError("refit reset rejected the fit");
+        return;
+    }
+    linalg::Vector pred(s.space.size());
+
+    obs::Registry &reg = obs::Registry::global();
+    const obs::Histogram ms = reg.histogram(
+        obs::names::kBenchIncrementalMs, obs::defaultTimeBucketsMs());
+    const bool via_obs = ms.live();
+    std::size_t t = 0;
+    for (auto _ : state) {
+        const std::size_t idx = s.obs_idx[t % s.obs_idx.size()];
+        const double val =
+            s.obs_vals[t % s.obs_idx.size()] * (1.0 + 0.01 * (t % 7));
+        ++t;
+        if (via_obs) {
+            obs::ScopedMs timer(ms);
+            refit.addSample(idx, val);
+            refit.predictInto(pred);
+        } else {
+            refit.addSample(idx, val);
+            refit.predictInto(pred);
+        }
+        benchmark::DoNotOptimize(pred);
+    }
+    state.counters["configs"] = static_cast<double>(s.space.size());
+    state.counters["window"] = static_cast<double>(refit.size());
+    state.counters["rebuilds"] = static_cast<double>(refit.rebuilds());
+}
+
+/**
+ * Headroom probe: a synthetic n = 16384 problem (no machine model —
+ * config spaces that large do not exist on the testbed) shows the
+ * low-rank path's per-iteration cost scaling with the number of
+ * applications, not n.
+ */
+void
+BM_LeoLowRankHeadroom(benchmark::State &state)
+{
+    const std::size_t n = 16384;
+    const std::size_t m = 25;
+    const std::size_t s_obs = 20;
+    stats::Rng rng(99);
+    std::vector<linalg::Vector> prior(m, linalg::Vector(n));
+    for (std::size_t i = 0; i < m; ++i) {
+        const double f1 = rng.uniform(1.0, 6.0);
+        const double f2 = rng.uniform(6.0, 20.0);
+        const double lift = rng.uniform(20.0, 200.0);
+        for (std::size_t j = 0; j < n; ++j) {
+            const double x =
+                static_cast<double>(j) / static_cast<double>(n);
+            prior[i][j] =
+                lift * (2.0 + std::sin(f1 * x) + 0.3 * std::cos(f2 * x));
+        }
+    }
+    std::vector<std::size_t> idx =
+        rng.sampleWithoutReplacement(n, s_obs);
+    linalg::Vector vals(s_obs);
+    for (std::size_t i = 0; i < s_obs; ++i)
+        vals[i] = 0.4 * prior[0][idx[i]] *
+                  (1.0 + 0.03 * rng.gaussian());
+
+    estimators::LeoOptions opts;
+    opts.representation = estimators::CovarianceRep::LowRank;
+    estimators::LeoEstimator est(opts);
+    runTimedFits(
+        state, n,
+        [&]() { return est.fitMetric(prior, idx, vals); },
+        obs::names::kBenchLowRankMs);
 }
 
 void
@@ -254,9 +371,26 @@ BENCHMARK(BM_LeoFitReference)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
+// The low-rank representation at the two largest spaces, plus the
+// synthetic n = 16384 headroom point (configs counter distinguishes
+// the rows in BENCH_leo.json).
+BENCHMARK(BM_LeoFitLowRank)
+    ->Args({1, 2})
+    ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
 BENCHMARK(BM_LeoWarmRound)
     ->Args({1, 2})
     ->Args({1, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK(BM_LeoIncrementalRefit)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(64);
+
+BENCHMARK(BM_LeoLowRankHeadroom)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 

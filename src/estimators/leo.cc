@@ -34,6 +34,7 @@
 #include "estimators/sanitize.hh"
 #include "linalg/cholesky.hh"
 #include "linalg/error.hh"
+#include "linalg/lowrank.hh"
 #include "obs/obs.hh"
 #include "parallel/parallel_for.hh"
 #include "stats/mvn.hh"
@@ -74,6 +75,10 @@ struct EmObs
         obs::names::kEmIterMs, obs::defaultTimeBucketsMs());
     obs::Gauge ws_bytes =
         obs::Registry::global().gauge(obs::names::kEmWorkspaceBytes);
+    obs::Counter lowrank =
+        obs::Registry::global().counter(obs::names::kEmLowRankFits);
+    obs::Gauge basis_cols =
+        obs::Registry::global().gauge(obs::names::kEmBasisColumns);
 };
 
 EmObs &
@@ -81,6 +86,464 @@ emObs()
 {
     static EmObs o;
     return o;
+}
+
+/**
+ * The low-rank EM path (CovarianceRep::LowRank).
+ *
+ * Every vector the EM ever produces — shapes, mu, posterior means —
+ * lives in the span of the M prior shapes plus the observed
+ * coordinate directions, so the covariance is maintained factored as
+ * Sigma = alpha I + Q' C Q with Q an orthonormal q x n basis of that
+ * span (q = rank <= M + |Omega| << n). With beta = alpha + sigma^2
+ * the Woodbury identity gives
+ *
+ *     (Sigma + sigma^2 I)^-1 = (1/beta) I + Q' E Q,
+ *     E = (C + beta I)^-1 - (1/beta) I,
+ *
+ * and because every difference vector the E-step solves against is in
+ * span(Q'), the n-dimensional solves collapse to q-dimensional ones:
+ * the per-iteration cost is O(q^3 + m q^2 + s q^2) against the dense
+ * path's O(n^3). The M-step closes over the representation — the
+ * isotropic pieces (sigma^2-inflation of the posterior covariance and
+ * the Psi = psi I prior) update alpha, everything else updates C — so
+ * no re-densification ever happens. Full derivation: DESIGN.md
+ * section 7.2.
+ *
+ * The result is tolerance-equivalent (not bitwise-equal) to the dense
+ * path: the algebra is identical but evaluated in a rotated
+ * parameterization, so roundings differ at the 1e-14 level per
+ * operation. The equivalence suite (tests/lowrank_test.cc) pins the
+ * agreement bounds.
+ */
+LeoFit
+fitLowRank(const LeoOptions &opt,
+           const std::vector<linalg::Vector> &shapes,
+           const std::vector<std::size_t> &obs_idx,
+           const linalg::Vector &x_obs, double scale,
+           linalg::Workspace *ws, const LeoFit *warm,
+           std::size_t (*counter)())
+{
+    using linalg::Matrix;
+    using linalg::Vector;
+
+    const std::size_t n = shapes.front().size();
+    const std::size_t m_prior = shapes.size();
+    const std::size_t s = obs_idx.size();
+    const bool have_obs = s > 0;
+    const double mp = static_cast<double>(m_prior);
+    const double m_total = mp + (have_obs ? 1.0 : 0.0);
+
+    linalg::Workspace local_ws;
+    linalg::Workspace &arena = ws ? *ws : local_ws;
+
+    // ---- Basis ----------------------------------------------------
+    // Orthonormalize the prior shapes, then the observed coordinate
+    // directions. Near-duplicates (rank-deficient priors, repeated
+    // observation indices) are dropped by the basis, shrinking q.
+    linalg::LowRankBasis basis;
+    basis.reset(n, m_prior + s);
+    for (const Vector &x : shapes)
+        basis.appendVector(x);
+    for (std::size_t j = 0; j < s; ++j)
+        basis.appendUnit(obs_idx[j]);
+    const std::size_t q = basis.size();
+    require(q >= 1, "LeoEstimator: empty low-rank basis");
+
+    Matrix &qmat = arena.matrix("lr.q", q, n);
+    basis.rowsInto(qmat);
+
+    // P (s x q): the basis columns at the observed indices, so row j
+    // of P holds the coordinates of e_{obs_j} in the basis.
+    Matrix &p = arena.matrix("lr.p", s, q);
+    for (std::size_t j = 0; j < s; ++j)
+        for (std::size_t k = 0; k < q; ++k)
+            p.at(j, k) = basis.entry(k, obs_idx[j]);
+
+    // Coordinates of the prior shapes: row i = Q x_i.
+    Matrix &coords = arena.matrix("lr.coords", m_prior, q);
+    {
+        Vector ci(q);
+        for (std::size_t i = 0; i < m_prior; ++i) {
+            basis.coordsInto(ci, shapes[i]);
+            for (std::size_t k = 0; k < q; ++k)
+                coords.at(i, k) = ci[k];
+        }
+    }
+
+    // ---- Initialization -------------------------------------------
+    // A warm fit must itself be low-rank (no dense <-> low-rank warm
+    // crossover: the representations converge to slightly different
+    // bits and the mixed init would be neither).
+    const bool warm_ok =
+        warm != nullptr && warm->lowRank && warm->basisT.cols() == n &&
+        warm->basisT.rows() >= 1 &&
+        warm->coeff.rows() == warm->basisT.rows() &&
+        warm->coeff.cols() == warm->basisT.rows() &&
+        warm->mu.size() == n && warm->alphaDiag > 0.0 &&
+        warm->sigma2 >= opt.minSigma2 && warm->mu.allFinite() &&
+        warm->basisT.allFinite() && warm->coeff.allFinite();
+
+    Vector g(q, 0.0);
+    Matrix &cmat = arena.matrix("lr.c", q, q);
+    cmat.resize(q, q);
+    double alpha = 0.0;
+    double sigma2 = opt.initSigma2;
+    if (warm_ok) {
+        // Re-express the warm theta in the fresh basis: g = Q mu_w,
+        // C0 = R C_w R' with R = Q Q_w'. Old directions missing from
+        // the new span project away; since EM re-estimates from the
+        // init, the loss only perturbs the starting point.
+        basis.coordsInto(g, warm->mu);
+        Matrix &rmat = arena.matrix("lr.rot", q, warm->basisT.rows());
+        Matrix &rc = arena.matrix("lr.rotc", q, warm->basisT.rows());
+        linalg::abtInto(rmat, qmat, warm->basisT);
+        Matrix::multiplyInto(rc, rmat, warm->coeff);
+        linalg::abtInto(cmat, rc, rmat);
+        alpha = warm->alphaDiag;
+        sigma2 = warm->sigma2;
+    } else {
+        // Cold init, exactly the dense init in coordinates: the mean
+        // of the shape coordinates is the coordinates of the mean
+        // shape, the residual Gram matrix is the projected dense one,
+        // and the isotropic Psi lands in alpha.
+        if (opt.init == EmInit::Offline) {
+            for (std::size_t i = 0; i < m_prior; ++i)
+                for (std::size_t k = 0; k < q; ++k)
+                    g[k] += coords.at(i, k);
+            g /= mp;
+        }
+        Matrix &resid0 = arena.matrix("lr.resid", m_prior, q);
+        for (std::size_t i = 0; i < m_prior; ++i)
+            for (std::size_t k = 0; k < q; ++k)
+                resid0.at(i, k) = coords.at(i, k) - g[k];
+        Matrix::gramInto(cmat, resid0);
+        cmat.outerAddInto(opt.hyperPi, g, g);
+        cmat /= m_total + 1.0;
+        alpha = opt.hyperPsiScale / (m_total + 1.0);
+    }
+
+    // ---- EM iterations --------------------------------------------
+    LeoFit fit;
+    fit.scale = scale;
+    fit.warmStarted = warm_ok;
+    fit.logLikelihoodTrace.reserve(opt.maxIterations);
+
+    EmObs &eo = emObs();
+    obs::Span fit_span(obs::names::kEmFitSpan, "em");
+    fit_span.arg("apps", mp);
+    fit_span.arg("configs", static_cast<double>(n));
+    fit_span.arg("rank", static_cast<double>(q));
+
+    // Loop buffers: everything is q- or s-dimensional, so the whole
+    // working set is a few hundred kilobytes even at n = 16384.
+    Matrix &invq = arena.matrix("lr.invq", q, q);
+    Matrix &zc = arena.matrix("lr.zc", m_prior, q);
+    Matrix &residm = arena.matrix("lr.residm", m_prior, q);
+    Matrix &gramq = arena.matrix("lr.gram", q, q);
+    Matrix &cnew = arena.matrix("lr.cnew", q, q);
+    Matrix &pc = arena.matrix("lr.pc", s, q);
+    Matrix &amat = arena.matrix("lr.amat", s, s);
+    Matrix &bmat = arena.matrix("lr.bmat", s, q);
+    Matrix &xmat = arena.matrix("lr.xmat", s, q);
+    Matrix &ct = arena.matrix("lr.ct", q, q);
+    Matrix &pct = arena.matrix("lr.pct", s, q);
+
+    Vector gnew(q, 0.0);
+    Vector tc(q, 0.0);
+    Vector u(q, 0.0);
+    Vector cu(q, 0.0);
+    Vector dq(q, 0.0);
+    Vector wq(q, 0.0);
+    Vector dtc(q, 0.0);
+    Vector ll_quad(m_prior, 0.0);
+    Vector r(s, 0.0);
+    Vector w(s, 0.0);
+    Vector ptc(s, 0.0);
+    Vector pg(s, 0.0);
+    Vector prev_pred = g;
+
+    linalg::Cholesky chol;
+    chol.reserve(q);
+    linalg::Cholesky::reserveInverseScratch(arena, q);
+    linalg::Cholesky chol_obs;
+    if (have_obs)
+        chol_obs.reserve(s);
+
+    const double total_obs = static_cast<double>(m_prior * n + s);
+    const double log2pi = std::log(2.0 * std::numbers::pi);
+
+    obs::Registry::global().prepareThread();
+    eo.ws_bytes.set(static_cast<double>(arena.bytes()));
+
+    // Same allocation contract as the dense workspace path: nothing
+    // inside the loop touches the heap.
+    // leo-lint: hot-begin
+    const std::size_t alloc0 = counter ? counter() : 0;
+    for (std::size_t iter = 0; iter < opt.maxIterations; ++iter) {
+        obs::Span iter_span(obs::names::kEmIterSpan, "em");
+        obs::ScopedMs iter_timer(eo.iter_ms);
+        fit.iterations = iter + 1;
+
+        const double beta = alpha + sigma2;
+
+        // Factor (C + beta I): the q x q core of every Woodbury
+        // identity this iteration needs.
+        chol.factorize(cmat, beta, 1e-6);
+        chol.inverseInto(invq, arena, /*mirror=*/false);
+        double tr_invq = 0.0;
+        for (std::size_t k = 0; k < q; ++k)
+            tr_invq += invq.at(k, k);
+        // tr((Sigma + sigma^2 I)^-1) = n/beta + tr(E).
+        const double tr_ainv =
+            static_cast<double>(n) / beta +
+            (tr_invq - static_cast<double>(q) / beta);
+
+        // E-step, fully observed applications, in coordinates:
+        // (Sigma + sigma^2 I)^-1 (x_i - mu) = Q' (C + beta I)^-1 dq
+        // because x_i - mu is in span(Q').
+        double wq2_sum = 0.0;
+        for (std::size_t i = 0; i < m_prior; ++i) {
+            for (std::size_t k = 0; k < q; ++k)
+                dq[k] = coords.at(i, k) - g[k];
+            wq = dq;
+            chol.solveInPlace(wq);
+            ll_quad[i] = linalg::dot(dq, wq);
+            wq2_sum += wq.squaredNorm();
+            for (std::size_t k = 0; k < q; ++k)
+                zc.at(i, k) = coords.at(i, k) - sigma2 * wq[k];
+        }
+
+        // E-step, target application: condition on the observations
+        // entirely in the small dimensions. A = Sigma_Omega +
+        // sigma^2 I = beta I_s + P C P'; the posterior mean is
+        // tc = g + (alpha I + C) P' A^-1 r, and the posterior core is
+        // Ct = C - B' A^-1 B with B = alpha P + P C.
+        if (have_obs) {
+            Matrix::multiplyInto(pc, p, cmat);
+            linalg::abtInto(amat, pc, p);
+            amat.addToDiagonal(beta);
+            // Duplicate observation indices couple through the
+            // alpha I part of Sigma off the diagonal too:
+            // Sigma_Omega[j][j2] includes alpha whenever the two
+            // rows observe the same configuration.
+            for (std::size_t j = 0; j < s; ++j)
+                for (std::size_t j2 = j + 1; j2 < s; ++j2)
+                    if (obs_idx[j] == obs_idx[j2]) {
+                        amat.at(j, j2) += alpha;
+                        amat.at(j2, j) += alpha;
+                    }
+            chol_obs.factorize(amat, 0.0, 1e-8);
+            linalg::gemvInto(pg, p, g);
+            for (std::size_t j = 0; j < s; ++j)
+                r[j] = x_obs[j] - pg[j];
+            w = r;
+            chol_obs.solveInPlace(w);
+            linalg::gemvTransInto(u, p, w);
+            linalg::gemvInto(cu, cmat, u);
+            for (std::size_t k = 0; k < q; ++k)
+                tc[k] = g[k] + alpha * u[k] + cu[k];
+            for (std::size_t j = 0; j < s; ++j)
+                for (std::size_t k = 0; k < q; ++k)
+                    bmat.at(j, k) =
+                        alpha * p.at(j, k) + pc.at(j, k);
+            xmat = bmat;
+            chol_obs.solveInPlace(xmat);
+            linalg::atbInto(ct, bmat, xmat);
+            for (std::size_t k = 0; k < q; ++k)
+                for (std::size_t k2 = 0; k2 < q; ++k2)
+                    ct.at(k, k2) = cmat.at(k, k2) - ct.at(k, k2);
+        }
+
+        // Marginal log-likelihood under the current theta;
+        // logdet(Sigma + sigma^2 I) = (n - q) log beta +
+        // logdet(C + beta I).
+        {
+            const double logdet_full =
+                static_cast<double>(n - q) * std::log(beta) +
+                chol.logDet();
+            double ll =
+                -0.5 * mp *
+                (static_cast<double>(n) * log2pi + logdet_full);
+            for (std::size_t i = 0; i < m_prior; ++i)
+                ll -= 0.5 * ll_quad[i];
+            if (have_obs)
+                ll -= 0.5 * (static_cast<double>(s) * log2pi +
+                             chol_obs.logDet() + linalg::dot(r, w));
+            fit.logLikelihoodTrace.push_back(ll);
+            iter_span.arg("iter", static_cast<double>(iter + 1));
+            if (iter > 0) {
+                const auto &t = fit.logLikelihoodTrace;
+                iter_span.arg("ll_delta",
+                              t[t.size() - 1] - t[t.size() - 2]);
+            }
+        }
+
+        // M-step: mu (Equation 4, mu_0 = 0), in coordinates.
+        gnew.fill(0.0);
+        for (std::size_t i = 0; i < m_prior; ++i)
+            for (std::size_t k = 0; k < q; ++k)
+                gnew[k] += zc.at(i, k);
+        if (have_obs)
+            gnew += tc;
+        gnew /= m_total + opt.hyperPi;
+
+        // M-step: Sigma (Equation 4). The posterior covariance of a
+        // fully observed app is C_full = sigma^2 I - sigma^4
+        // (Sigma + sigma^2 I)^-1, whose isotropic part
+        // sigma^2 (1 - sigma^2 / beta) I feeds alpha and whose span
+        // part -sigma^4 E feeds C; the target's posterior covariance
+        // splits as alpha I + Q' Ct Q; Psi = psi I is isotropic.
+        const double alpha_new =
+            (mp * sigma2 * (1.0 - sigma2 / beta) +
+             (have_obs ? alpha : 0.0) + opt.hyperPsiScale) /
+            (m_total + 1.0);
+        cnew.fill(0.0);
+        // -m sigma^4 E = -m sigma^4 (C + beta I)^-1
+        //                + (m sigma^4 / beta) I.
+        cnew.addScaledSymmetric(-mp * sigma2 * sigma2, invq);
+        cnew.addToDiagonal(mp * sigma2 * sigma2 / beta);
+        if (have_obs)
+            cnew += ct;
+        for (std::size_t i = 0; i < m_prior; ++i)
+            for (std::size_t k = 0; k < q; ++k)
+                residm.at(i, k) = zc.at(i, k) - gnew[k];
+        Matrix::gramInto(gramq, residm);
+        cnew += gramq;
+        if (have_obs) {
+            for (std::size_t k = 0; k < q; ++k)
+                dtc[k] = tc[k] - gnew[k];
+            cnew.outerAddInto(1.0, dtc, dtc);
+        }
+        cnew.outerAddInto(opt.hyperPi, gnew, gnew);
+        cnew /= m_total + 1.0;
+        cnew.symmetrize();
+
+        // M-step: sigma^2 (Equation 4). tr(C_full) per app is
+        // n sigma^2 - sigma^4 tr_ainv; the residual z_i - x_i is
+        // -sigma^2 Q' wq_i so its squared norm is sigma^4 |wq_i|^2.
+        double noise_accum =
+            mp * (static_cast<double>(n) * sigma2 -
+                  sigma2 * sigma2 * tr_ainv) +
+            sigma2 * sigma2 * wq2_sum;
+        if (have_obs) {
+            Matrix::multiplyInto(pct, p, ct);
+            linalg::gemvInto(ptc, p, tc);
+            for (std::size_t j = 0; j < s; ++j) {
+                double tjj = alpha;
+                for (std::size_t k = 0; k < q; ++k)
+                    tjj += pct.at(j, k) * p.at(j, k);
+                const double rr = ptc[j] - x_obs[j];
+                noise_accum += tjj + rr * rr;
+            }
+        }
+        const double sigma2_new =
+            std::max(noise_accum / total_obs, opt.minSigma2);
+
+        // Convergence on the target prediction, as in the dense
+        // paths; coordinate norms equal ambient norms because Q has
+        // orthonormal rows.
+        const Vector &pred = have_obs ? tc : gnew;
+        double dd = 0.0;
+        for (std::size_t k = 0; k < q; ++k) {
+            const double t = pred[k] - prev_pred[k];
+            dd += t * t;
+        }
+        const double dpred =
+            std::sqrt(dd) / (prev_pred.norm() + 1e-12);
+        prev_pred = pred;
+
+        std::swap(g, gnew);
+        std::swap(cmat, cnew);
+        alpha = alpha_new;
+        sigma2 = sigma2_new;
+
+        if (dpred < opt.tolerance) {
+            fit.converged = true;
+            break;
+        }
+    }
+    if (counter)
+        fit.loopAllocations = counter() - alloc0;
+    // leo-lint: hot-end
+
+    eo.fits.add(1);
+    eo.lowrank.add(1);
+    if (warm_ok)
+        eo.warm.add(1);
+    eo.iters.add(fit.iterations);
+    eo.basis_cols.set(static_cast<double>(q));
+    fit_span.arg("iters", static_cast<double>(fit.iterations));
+    fit_span.arg("converged", fit.converged ? 1.0 : 0.0);
+
+    // ---- Prediction -----------------------------------------------
+    // Final E-step for the target under the fitted theta, then expand
+    // back to configuration space.
+    if (have_obs) {
+        const double beta = alpha + sigma2;
+        Matrix::multiplyInto(pc, p, cmat);
+        linalg::abtInto(amat, pc, p);
+        amat.addToDiagonal(beta);
+        for (std::size_t j = 0; j < s; ++j)
+            for (std::size_t j2 = j + 1; j2 < s; ++j2)
+                if (obs_idx[j] == obs_idx[j2]) {
+                    amat.at(j, j2) += alpha;
+                    amat.at(j2, j) += alpha;
+                }
+        chol_obs.factorize(amat, 0.0, 1e-8);
+        linalg::gemvInto(pg, p, g);
+        for (std::size_t j = 0; j < s; ++j)
+            r[j] = x_obs[j] - pg[j];
+        w = r;
+        chol_obs.solveInPlace(w);
+        linalg::gemvTransInto(u, p, w);
+        linalg::gemvInto(cu, cmat, u);
+        for (std::size_t k = 0; k < q; ++k)
+            tc[k] = g[k] + alpha * u[k] + cu[k];
+        for (std::size_t j = 0; j < s; ++j)
+            for (std::size_t k = 0; k < q; ++k)
+                bmat.at(j, k) = alpha * p.at(j, k) + pc.at(j, k);
+        xmat = bmat;
+        chol_obs.solveInPlace(xmat);
+        linalg::atbInto(ct, bmat, xmat);
+        for (std::size_t k = 0; k < q; ++k)
+            for (std::size_t k2 = 0; k2 < q; ++k2)
+                ct.at(k, k2) = cmat.at(k, k2) - ct.at(k, k2);
+    } else {
+        tc = g;
+        ct = cmat;
+    }
+
+    // Posterior diagonal: cov_jj = alpha + q_j' Ct q_j, streamed as
+    // rows of Ct Q against rows of Q.
+    Matrix &predt = arena.matrix("lr.predt", q, n);
+    Matrix::multiplyInto(predt, ct, qmat);
+    Vector pred_full(n);
+    basis.expandInto(pred_full, tc);
+    Vector cov_diag(n, 0.0);
+    for (std::size_t k = 0; k < q; ++k) {
+        const double *qk = qmat.data() + k * n;
+        const double *tk = predt.data() + k * n;
+        for (std::size_t j = 0; j < n; ++j)
+            cov_diag[j] += qk[j] * tk[j];
+    }
+
+    fit.prediction = Vector(n);
+    fit.predictionVariance = Vector(n);
+    for (std::size_t j = 0; j < n; ++j) {
+        fit.prediction[j] = std::max(pred_full[j] * scale, 0.0);
+        fit.predictionVariance[j] =
+            (alpha + cov_diag[j] + sigma2) * scale * scale;
+    }
+    basis.expandInto(fit.mu, g);
+    // fit.sigma stays empty: at large n the dense matrix is exactly
+    // what this path exists to avoid materializing.
+    fit.sigma2 = sigma2;
+    fit.lowRank = true;
+    fit.basisT = qmat;
+    fit.coeff = cmat;
+    fit.alphaDiag = alpha;
+    return fit;
 }
 
 } // namespace
@@ -262,6 +725,20 @@ LeoEstimator::fitMetric(const std::vector<linalg::Vector> &prior,
     // Total applications M: priors plus (when observed) the target.
     const double m_total =
         static_cast<double>(m_prior) + (have_obs ? 1.0 : 0.0);
+
+    // ---- Representation dispatch ----------------------------------
+    // The reference path is by definition dense (it is the executable
+    // specification the other paths are judged against); Auto opts
+    // into the factored path only when the rank bound leaves enough
+    // headroom for the subspace algebra to win.
+    const bool low_rank =
+        !options_.referencePath &&
+        (options_.representation == CovarianceRep::LowRank ||
+         (options_.representation == CovarianceRep::Auto &&
+          4 * (m_prior + s + 1) <= n));
+    if (low_rank)
+        return fitLowRank(options_, shapes, obs_idx, x_obs, scale, ws,
+                          warm, alloc_counter);
 
     // ---- Initialization -------------------------------------------
     // Warm start (when a compatible previous fit is supplied) resumes

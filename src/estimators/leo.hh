@@ -57,6 +57,25 @@ enum class EmInit
     Zero     //!< mu_0 = 0; slower, used by the init ablation bench.
 };
 
+/**
+ * How the configuration covariance Sigma is represented during EM.
+ *
+ * The dense representation carries the full n x n matrix and is the
+ * executable specification. The low-rank representation writes
+ * Sigma = alpha I + Q' C Q with Q an orthonormal basis of the
+ * subspace spanned by the prior shapes and the observed coordinate
+ * directions (q = rank(Q) <= M + |Omega| << n), and runs every EM
+ * step in q dimensions via the Woodbury identity — the same model,
+ * evaluated in a different parameterization, so results agree with
+ * the dense path to rounding (see DESIGN.md section 7.2).
+ */
+enum class CovarianceRep
+{
+    Dense,   //!< Full n x n Sigma (bitwise-stable reference behavior).
+    LowRank, //!< Factored alpha I + Q' C Q; O(n q^2) per iteration.
+    Auto     //!< LowRank when 4 (M + |Omega| + 1) <= n, else Dense.
+};
+
 /** Tunable knobs of the LEO estimator. */
 struct LeoOptions
 {
@@ -94,6 +113,15 @@ struct LeoOptions
      * specification of the fit.
      */
     bool referencePath = false;
+    /**
+     * Covariance representation (see CovarianceRep). Dense keeps the
+     * historical bitwise-stable behavior and remains the default;
+     * LowRank trades 0-ULP reproducibility of the dense path for
+     * O(n q^2) iterations; Auto picks LowRank exactly when the rank
+     * bound q = M + |Omega| + 1 satisfies 4 q <= n. referencePath
+     * forces Dense (the reference loop is the dense specification).
+     */
+    CovarianceRep representation = CovarianceRep::Dense;
 };
 
 /** Full output of one EM fit (one metric). */
@@ -127,6 +155,18 @@ struct LeoFit
      *  counter is registered via setAllocationCounter (0 otherwise).
      *  The workspace path keeps this at zero. */
     std::size_t loopAllocations = 0;
+    /** True iff this fit used the low-rank representation. Low-rank
+     *  fits leave `sigma` empty (at n = 16384 the dense matrix would
+     *  be 2 GB) and carry Sigma factored in the three fields below:
+     *  Sigma = alphaDiag I + basisT' coeff basisT. */
+    bool lowRank = false;
+    /** Low-rank basis Q, stored row-major q x n (row k = basis
+     *  vector k); empty on dense fits. */
+    linalg::Matrix basisT;
+    /** Low-rank core C (q x q, symmetric); empty on dense fits. */
+    linalg::Matrix coeff;
+    /** Isotropic diagonal term alpha of the factored Sigma. */
+    double alphaDiag = 0.0;
 };
 
 /**

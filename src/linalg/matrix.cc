@@ -426,7 +426,10 @@ Matrix::multiplyInto(Matrix &out, const Matrix &a, const Matrix &b)
     const std::size_t n = b.cols();
     out.resize(m, n);
     out.fill(0.0);
-    // Same tiling and increasing-k accumulation as multiply().
+    // Same tiling and increasing-k accumulation as multiply(). The
+    // inner saxpy runs over restrict-qualified row pointers — out
+    // never aliases b (asserted above), and telling the compiler so
+    // is what lets it vectorize the j-loop.
     for (std::size_t i0 = 0; i0 < m; i0 += kBlock) {
         const std::size_t i1 = std::min(m, i0 + kBlock);
         for (std::size_t k0 = 0; k0 < kk; k0 += kBlock) {
@@ -434,10 +437,13 @@ Matrix::multiplyInto(Matrix &out, const Matrix &a, const Matrix &b)
             for (std::size_t j0 = 0; j0 < n; j0 += kBlock) {
                 const std::size_t j1 = std::min(n, j0 + kBlock);
                 for (std::size_t i = i0; i < i1; ++i) {
+                    double *__restrict oi = &out.data_[i * n];
                     for (std::size_t k = k0; k < k1; ++k) {
                         const double a_ik = a.at(i, k);
+                        const double *__restrict bk =
+                            &b.data_[k * n];
                         for (std::size_t j = j0; j < j1; ++j)
-                            out.at(i, j) += a_ik * b.at(k, j);
+                            oi[j] += a_ik * bk[j];
                     }
                 }
             }
@@ -452,16 +458,48 @@ Matrix::syrkInto(Matrix &out, const Matrix &a)
     const std::size_t m = a.rows();
     const std::size_t kk = a.cols();
     out.resize(m, m);
+    // Four output entries of a row share the a(i, k) stream through
+    // restrict-qualified row pointers: four independent row dots per
+    // pass, each with its own accumulator filled in ascending k, so
+    // every entry is still bitwise identical to the scalar dot.
     for (std::size_t i0 = 0; i0 < m; i0 += kBlock) {
         const std::size_t i1 = std::min(m, i0 + kBlock);
         for (std::size_t j0 = 0; j0 <= i0; j0 += kBlock) {
             const std::size_t j1 = std::min(m, j0 + kBlock);
             for (std::size_t i = i0; i < i1; ++i) {
+                const double *__restrict ai = &a.data_[i * kk];
                 const std::size_t j_hi = std::min(j1, i + 1);
-                for (std::size_t j = j0; j < j_hi; ++j) {
+                std::size_t j = j0;
+                for (; j + 4 <= j_hi; j += 4) {
+                    const double *__restrict r0 = &a.data_[j * kk];
+                    const double *__restrict r1 =
+                        &a.data_[(j + 1) * kk];
+                    const double *__restrict r2 =
+                        &a.data_[(j + 2) * kk];
+                    const double *__restrict r3 =
+                        &a.data_[(j + 3) * kk];
+                    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+                    for (std::size_t k = 0; k < kk; ++k) {
+                        const double aik = ai[k];
+                        a0 += aik * r0[k];
+                        a1 += aik * r1[k];
+                        a2 += aik * r2[k];
+                        a3 += aik * r3[k];
+                    }
+                    out.at(i, j) = a0;
+                    out.at(i, j + 1) = a1;
+                    out.at(i, j + 2) = a2;
+                    out.at(i, j + 3) = a3;
+                    out.at(j, i) = a0;
+                    out.at(j + 1, i) = a1;
+                    out.at(j + 2, i) = a2;
+                    out.at(j + 3, i) = a3;
+                }
+                for (; j < j_hi; ++j) {
+                    const double *__restrict aj = &a.data_[j * kk];
                     double acc = 0.0;
                     for (std::size_t k = 0; k < kk; ++k)
-                        acc += a.at(i, k) * a.at(j, k);
+                        acc += ai[k] * aj[k];
                     out.at(i, j) = acc;
                     out.at(j, i) = acc;
                 }
@@ -483,11 +521,33 @@ Matrix::gramInto(Matrix &out, const Matrix &a)
     // output once per row. The EM loop calls this with very few rows
     // (its per-chunk residual blocks), where the short dot products
     // are far cheaper than m full passes over the n x n output.
+    // Four adjacent output columns share each strided a(k, i) load
+    // through a restrict-qualified row cursor; each entry keeps its
+    // own ascending-k accumulator, so the result is bitwise identical
+    // to the scalar loop.
+    const double *const ap = a.data_.data();
     for (std::size_t i = 0; i < n; ++i) {
-        for (std::size_t j = 0; j <= i; ++j) {
+        std::size_t j = 0;
+        for (; j + 4 <= i + 1; j += 4) {
+            double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+            const double *__restrict row = ap;
+            for (std::size_t k = 0; k < m; ++k, row += n) {
+                const double aki = row[i];
+                a0 += aki * row[j];
+                a1 += aki * row[j + 1];
+                a2 += aki * row[j + 2];
+                a3 += aki * row[j + 3];
+            }
+            out.at(i, j) = a0;
+            out.at(i, j + 1) = a1;
+            out.at(i, j + 2) = a2;
+            out.at(i, j + 3) = a3;
+        }
+        for (; j <= i; ++j) {
             double acc = 0.0;
-            for (std::size_t k = 0; k < m; ++k)
-                acc += a.at(k, i) * a.at(k, j);
+            const double *__restrict row = ap;
+            for (std::size_t k = 0; k < m; ++k, row += n)
+                acc += row[i] * row[j];
             out.at(i, j) = acc;
         }
     }
@@ -560,15 +620,23 @@ symv(const Matrix &a, const Vector &x, Vector &y)
     // by its own row before the first scatter arrives), so for a
     // symmetric a the result is bitwise identical to it. Unlike the
     // naive mirrored read a(c, r), every access here is contiguous.
+    // The three streams are disjoint (y aliases neither x nor a), and
+    // saying so with restrict is what lets the fused dot + scatter
+    // body vectorize; the single ascending-c accumulator per row is
+    // untouched, so the value sequence is exactly the scalar one.
+    const double *__restrict xp = x.data();
+    double *__restrict yp = y.data();
+    const double *__restrict ap = a.data();
     for (std::size_t r = 0; r < n; ++r) {
-        const double xr = x[r];
+        const double xr = xp[r];
+        const double *__restrict ar = ap + r * n;
         double acc = 0.0;
         for (std::size_t c = 0; c < r; ++c) {
-            const double arc = a.at(r, c);
-            acc += arc * x[c];
-            y[c] += arc * xr;
+            const double arc = ar[c];
+            acc += arc * xp[c];
+            yp[c] += arc * xr;
         }
-        y[r] = acc + a.at(r, r) * xr;
+        yp[r] = acc + ar[r] * xr;
     }
 }
 

@@ -78,6 +78,11 @@ class Matrix
         return data_[r * cols_ + c];
     }
 
+    /** @return Pointer to the underlying row-major storage. */
+    const double *data() const { return data_.data(); }
+    /** @return Pointer to the underlying row-major storage. */
+    double *data() { return data_.data(); }
+
     /** @return Row r as a vector. */
     Vector row(std::size_t r) const;
     /** @return Column c as a vector. */

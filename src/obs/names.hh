@@ -33,6 +33,18 @@ inline constexpr const char *kEmIterMs = "leo.em.iter.ms";
 inline constexpr const char *kEmWorkspaceBytes = "leo.em.workspace.bytes";
 inline constexpr const char *kEmFitSpan = "leo.em.fit";
 inline constexpr const char *kEmIterSpan = "leo.em.iter";
+inline constexpr const char *kEmLowRankFits = "leo.em.lowrank.fits";
+inline constexpr const char *kEmBasisColumns = "leo.em.basis.columns";
+
+// ---- refit: the incremental per-window refitter ----------------- //
+inline constexpr const char *kRefitSamplesApplied =
+    "leo.refit.samples.applied";
+inline constexpr const char *kRefitSamplesEvicted =
+    "leo.refit.samples.evicted";
+inline constexpr const char *kRefitDowndatesFailed =
+    "leo.refit.downdates.failed";
+inline constexpr const char *kRefitRebuildsRun =
+    "leo.refit.rebuilds.run";
 
 // ---- sanitize: estimator input sanitization --------------------- //
 inline constexpr const char *kSanitizeSamplesRejected =
@@ -94,6 +106,9 @@ inline constexpr const char *kControllerFitSpan = "leo.controller.fit";
 // ---- bench: benchmark-local instruments ------------------------- //
 inline constexpr const char *kBenchFitMs = "leo.bench.fit.ms";
 inline constexpr const char *kBenchFitIters = "leo.bench.fit.iters";
+inline constexpr const char *kBenchLowRankMs = "leo.bench.lowrank.ms";
+inline constexpr const char *kBenchIncrementalMs =
+    "leo.bench.incremental.ms";
 inline constexpr const char *kBenchTrialSpan = "leo.bench.trial";
 
 } // namespace leo::obs::names

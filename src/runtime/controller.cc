@@ -146,6 +146,28 @@ EnergyController::recordMeasurement(const telemetry::Sample &s)
         segment_ + 1 + boost_ < frontier_.size()) {
         ++boost_;
     }
+
+    // Per-window refit: fold this window's measurement into the
+    // frozen-theta conditioners and replan on the refreshed map. Any
+    // numerical surprise just deactivates the refitters — the
+    // controller falls back to fit-once-then-watch, never crashes.
+    if (refit_perf_.active() && refit_power_.active()) {
+        try {
+            refit_perf_.addSample(s.configIndex, s.heartbeatRate);
+            refit_power_.addSample(s.configIndex, s.powerWatts);
+            if (refit_perf_.predictInto(perf_) &&
+                refit_power_.predictInto(power_) &&
+                perf_.allFinite() && power_.allFinite()) {
+                replanPreserving();
+            } else {
+                refit_perf_.deactivate();
+                refit_power_.deactivate();
+            }
+        } catch (const std::exception &) {
+            refit_perf_.deactivate();
+            refit_power_.deactivate();
+        }
+    }
 }
 
 void
@@ -165,6 +187,8 @@ EnergyController::setEstimates(linalg::Vector performance,
 void
 EnergyController::beginSampling()
 {
+    refit_perf_.deactivate();
+    refit_power_.deactivate();
     history_.clear();
     observations_ = telemetry::Observations{};
     probe_plan_.clear();
@@ -192,13 +216,67 @@ EnergyController::fit()
             power_.size() == space_.size() && perf_.allFinite() &&
             power_.allFinite()) {
             fallback_remaining_ = 0;
+            seedRefits();
             return;
         }
     } catch (const std::exception &) {
         // Fall through to the fallback policy.
     }
+    refit_perf_.deactivate();
+    refit_power_.deactivate();
     fits_failed_.add(1);
     fallbackEstimates();
+}
+
+void
+EnergyController::seedRefits()
+{
+    refit_perf_.deactivate();
+    refit_power_.deactivate();
+    if (options_.refitMode == RefitMode::None || !have_fits_)
+        return;
+    // Arm the conditioners from the fresh theta and replay the fit's
+    // own observation set, so the first refit prediction starts from
+    // (a Woodbury re-derivation of) the fit's posterior instead of
+    // snapping back to the prior mean.
+    try {
+        const bool ok =
+            refit_perf_.reset(perf_fit_, options_.onlineSampleWindow,
+                              options_.refitMode) &&
+            refit_power_.reset(power_fit_, options_.onlineSampleWindow,
+                               options_.refitMode);
+        if (!ok) {
+            refit_perf_.deactivate();
+            refit_power_.deactivate();
+            return;
+        }
+        for (std::size_t i = 0; i < observations_.indices.size(); ++i) {
+            refit_perf_.addSample(observations_.indices[i],
+                                  observations_.performance[i]);
+            refit_power_.addSample(observations_.indices[i],
+                                   observations_.power[i]);
+        }
+    } catch (const std::exception &) {
+        refit_perf_.deactivate();
+        refit_power_.deactivate();
+    }
+}
+
+void
+EnergyController::replanPreserving()
+{
+    if (!hasEstimates()) {
+        frontier_.clear();
+        return;
+    }
+    frontier_ = optimizer::paretoFrontier(perf_, power_);
+    segment_ = 0;
+    while (segment_ + 1 < frontier_.size() &&
+           frontier_[segment_ + 1].performance < options_.targetRate) {
+        ++segment_;
+    }
+    // boost_, have_avg_ and drift_count_ deliberately survive:
+    // paceConfig() clamps the boost against the new frontier size.
 }
 
 void

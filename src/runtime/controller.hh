@@ -26,6 +26,7 @@
 #include "linalg/workspace.hh"
 #include "obs/obs.hh"
 #include "optimizer/pareto.hh"
+#include "runtime/incremental.hh"
 #include "stats/rng.hh"
 #include "telemetry/measurement.hh"
 
@@ -54,6 +55,18 @@ struct ControllerOptions
      *  retrying estimation with fresh probes (0 = never retry; see
      *  DESIGN.md "Failure model and degradation policy"). */
     std::size_t fallbackBackoffWindows = 8;
+    /**
+     * Per-window estimate refresh between full fits (see
+     * runtime/incremental.hh). Requires the estimator to be a
+     * LeoEstimator producing low-rank fits; otherwise ignored. None
+     * keeps the historical fit-once-then-watch behavior.
+     */
+    RefitMode refitMode = RefitMode::None;
+    /**
+     * Sliding window of online samples the refitter conditions on;
+     * samples beyond it are evicted oldest-first (0 = keep all).
+     */
+    std::size_t onlineSampleWindow = 32;
 };
 
 /**
@@ -184,6 +197,19 @@ class EnergyController
     /** Recompute the frontier and locate the demand on it. */
     void replan();
 
+    /**
+     * replan() minus the guard resets: recomputes the frontier and
+     * segment from refreshed estimates while preserving the
+     * gradient-ascent boost, the measured-rate EWMA and the drift
+     * counter — a refit refreshes the map, it does not declare a
+     * phase change.
+     */
+    void replanPreserving();
+
+    /** Arm the per-window refitters from the latest low-rank fits
+     *  (no-op unless options_.refitMode asks for them). */
+    void seedRefits();
+
     /** Select the frontier configuration pacing the demand. */
     std::size_t paceConfig();
 
@@ -206,6 +232,10 @@ class EnergyController
     estimators::LeoFit perf_fit_;
     estimators::LeoFit power_fit_;
     bool have_fits_ = false;
+    /** Frozen-theta per-window refitters (inactive unless
+     *  options_.refitMode engages them). */
+    IncrementalRefit refit_perf_;
+    IncrementalRefit refit_power_;
     /** Per-configuration EWMA of measured rates (drift reference). */
     std::unordered_map<std::size_t, double> history_;
     std::vector<optimizer::TradeoffPoint> frontier_;

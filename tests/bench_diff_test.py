@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Unit checks for tools/bench_diff.py.
+
+The compare logic must pair benchmarks by name, normalize time units,
+prefer ``_median`` aggregate rows, flag regressions past the
+threshold, and — critically for a growing bench suite — tolerate keys
+present in only one file (new or retired benchmarks must never fail
+the comparison). Registered with ctest so the tier-1 suite runs it.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), "..",
+                 "tools"))
+import bench_diff  # noqa: E402
+
+
+def bench_file(rows):
+    """Write a minimal google-benchmark JSON file; return its path."""
+    fd, path = tempfile.mkstemp(suffix=".json")
+    with os.fdopen(fd, "w") as f:
+        json.dump({"benchmarks": rows}, f)
+    return path
+
+
+def row(name, ms, unit="ms", aggregate=None):
+    r = {"name": name, "real_time": ms, "time_unit": unit}
+    if aggregate:
+        r["aggregate_name"] = aggregate
+    return r
+
+
+class LoadRows(unittest.TestCase):
+    def test_unit_normalization(self):
+        path = bench_file([
+            row("a", 2.0, unit="ms"),
+            row("b", 3000.0, unit="us"),
+            row("c", 4e6, unit="ns"),
+            row("d", 0.005, unit="s"),
+        ])
+        try:
+            rows = bench_diff.load_rows(path)
+        finally:
+            os.unlink(path)
+        self.assertAlmostEqual(rows["a"], 2.0)
+        self.assertAlmostEqual(rows["b"], 3.0)
+        self.assertAlmostEqual(rows["c"], 4.0)
+        self.assertAlmostEqual(rows["d"], 5.0)
+
+    def test_median_shadows_repetitions(self):
+        path = bench_file([
+            row("a", 10.0),
+            row("a", 30.0),
+            row("a_median", 20.0, aggregate="median"),
+            row("a_mean", 21.0, aggregate="mean"),
+            row("a_stddev", 2.0, aggregate="stddev"),
+        ])
+        try:
+            rows = bench_diff.load_rows(path)
+        finally:
+            os.unlink(path)
+        self.assertAlmostEqual(rows["a"], 20.0)
+        self.assertNotIn("a_mean", rows)
+
+
+class Compare(unittest.TestCase):
+    def run_diff(self, base_rows, cand_rows, extra=()):
+        base = bench_file(base_rows)
+        cand = bench_file(cand_rows)
+        try:
+            return bench_diff.main([base, cand, *extra])
+        finally:
+            os.unlink(base)
+            os.unlink(cand)
+
+    def test_no_regression_passes(self):
+        self.assertEqual(
+            self.run_diff([row("a", 10.0)], [row("a", 10.5)]), 0)
+
+    def test_regression_fails(self):
+        self.assertEqual(
+            self.run_diff([row("a", 10.0)], [row("a", 12.0)]), 1)
+
+    def test_threshold_is_respected(self):
+        self.assertEqual(
+            self.run_diff([row("a", 10.0)], [row("a", 12.0)],
+                          extra=["--threshold", "0.25"]), 0)
+
+    def test_one_sided_keys_never_fail(self):
+        # A benchmark added in the candidate (e.g. the low-rank or
+        # headroom rows) and one retired from the baseline must both
+        # be reported without failing the comparison.
+        self.assertEqual(
+            self.run_diff(
+                [row("a", 10.0), row("retired", 5.0)],
+                [row("a", 10.0), row("added_lowrank", 500.0)]), 0)
+
+    def test_speedup_passes(self):
+        self.assertEqual(
+            self.run_diff([row("a", 344.0)], [row("a", 5.0)]), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -4,6 +4,8 @@
  */
 
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -265,6 +267,155 @@ TEST(Cholesky, RejectsAsymmetric)
 {
     Matrix a{{1.0, 0.5}, {0.0, 1.0}};
     EXPECT_THROW(linalg::Cholesky{a}, FatalError);
+}
+
+// ------------------------------------------------ Rank-1 up/downdates
+
+namespace
+{
+
+/** Random SPD matrix A = B B' + n I for the rank-1 tests. */
+Matrix
+randomSpd(std::size_t n, unsigned seed)
+{
+    stats::Rng rng(seed);
+    Matrix b(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j)
+            b(i, j) = rng.gaussian();
+    Matrix a = b * b.transpose();
+    a.addToDiagonal(static_cast<double>(n));
+    return a;
+}
+
+/** Max |L1 - L2| over the lower triangle. */
+double
+lowerMaxDiff(const Matrix &l1, const Matrix &l2)
+{
+    double worst = 0.0;
+    for (std::size_t i = 0; i < l1.rows(); ++i)
+        for (std::size_t j = 0; j <= i; ++j)
+            worst = std::max(worst,
+                             std::abs(l1.at(i, j) - l2.at(i, j)));
+    return worst;
+}
+
+} // namespace
+
+TEST(CholeskyRank1, UpdateMatchesRefactorization)
+{
+    const std::size_t n = 16;
+    Matrix a = randomSpd(n, 11);
+    stats::Rng rng(12);
+    Vector x(n);
+    for (std::size_t i = 0; i < n; ++i)
+        x[i] = rng.gaussian();
+
+    linalg::Cholesky chol(a);
+    ASSERT_EQ(chol.updateRank1(x), linalg::UpdateStatus::Ok);
+
+    Matrix aup = a;
+    aup.outerAddInto(1.0, x, x);
+    linalg::Cholesky ref(aup);
+    EXPECT_LT(lowerMaxDiff(chol.factor(), ref.factor()), 1e-10);
+    EXPECT_NEAR(chol.logDet(), ref.logDet(), 1e-10);
+}
+
+TEST(CholeskyRank1, UpdateDowndateRoundTrips)
+{
+    const std::size_t n = 12;
+    Matrix a = randomSpd(n, 21);
+    stats::Rng rng(22);
+    Vector x(n);
+    for (std::size_t i = 0; i < n; ++i)
+        x[i] = rng.gaussian();
+
+    linalg::Cholesky chol(a);
+    const Matrix before = chol.factor();
+    ASSERT_EQ(chol.updateRank1(x), linalg::UpdateStatus::Ok);
+    ASSERT_EQ(chol.downdateRank1(x), linalg::UpdateStatus::Ok);
+    EXPECT_LT(lowerMaxDiff(chol.factor(), before), 1e-10);
+}
+
+TEST(CholeskyRank1, RandomSequenceTracksRefactorization)
+{
+    // A window of adds and evictions, the way the incremental
+    // refitter drives the factor: every prefix must stay close to a
+    // from-scratch factorization of the running matrix.
+    const std::size_t n = 8;
+    Matrix a = randomSpd(n, 31);
+    linalg::Cholesky chol(a);
+    stats::Rng rng(32);
+
+    std::vector<Vector> window;
+    for (int step = 0; step < 40; ++step) {
+        Vector x(n);
+        for (std::size_t i = 0; i < n; ++i)
+            x[i] = rng.gaussian();
+        ASSERT_EQ(chol.updateRank1(x), linalg::UpdateStatus::Ok);
+        a.outerAddInto(1.0, x, x);
+        window.push_back(x);
+        if (window.size() > 6) {
+            const Vector old = window.front();
+            window.erase(window.begin());
+            ASSERT_EQ(chol.downdateRank1(old),
+                      linalg::UpdateStatus::Ok);
+            a.outerAddInto(-1.0, old, old);
+        }
+    }
+    linalg::Cholesky ref(a);
+    EXPECT_LT(lowerMaxDiff(chol.factor(), ref.factor()), 1e-8);
+}
+
+TEST(CholeskyRank1, DowndateNearSingularityFailsGracefully)
+{
+    // Downdating A by one of its own "columns" scaled to push an
+    // eigenvalue through zero must refuse without touching the
+    // factor and without manufacturing NaNs.
+    Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+    linalg::Cholesky chol(a);
+    const Matrix before = chol.factor();
+
+    // x x' with x = (2, 1)' makes A - x x' exactly singular at the
+    // (0,0) pivot; scale slightly past it to be infeasible.
+    Vector x{2.0000001, 1.0};
+    EXPECT_EQ(chol.downdateRank1(x),
+              linalg::UpdateStatus::NotPositiveDefinite);
+    EXPECT_EQ(lowerMaxDiff(chol.factor(), before), 0.0);
+    EXPECT_TRUE(chol.factor().allFinite());
+
+    // The factor is still usable after the refusal.
+    Vector b{1.0, 1.0};
+    Vector sol = b;
+    chol.solveInPlace(sol);
+    Vector ab = a * sol;
+    EXPECT_NEAR(ab[0], b[0], 1e-12);
+    EXPECT_NEAR(ab[1], b[1], 1e-12);
+}
+
+TEST(CholeskyRank1, DowndateExactBoundaryRefusedByTolerance)
+{
+    // rho2 lands at ~0 for the exactly singular downdate; the default
+    // tolerance must classify it as infeasible, not sqrt(-eps).
+    Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+    linalg::Cholesky chol(a);
+    Vector x{2.0, 1.0};
+    EXPECT_EQ(chol.downdateRank1(x),
+              linalg::UpdateStatus::NotPositiveDefinite);
+    EXPECT_TRUE(chol.factor().allFinite());
+}
+
+TEST(CholeskyRank1, NonFiniteVectorsRejected)
+{
+    Matrix a{{4.0, 2.0}, {2.0, 3.0}};
+    linalg::Cholesky chol(a);
+    const Matrix before = chol.factor();
+    Vector x{1.0, std::numeric_limits<double>::quiet_NaN()};
+    EXPECT_EQ(chol.updateRank1(x),
+              linalg::UpdateStatus::NotPositiveDefinite);
+    EXPECT_EQ(chol.downdateRank1(x),
+              linalg::UpdateStatus::NotPositiveDefinite);
+    EXPECT_EQ(lowerMaxDiff(chol.factor(), before), 0.0);
 }
 
 // --------------------------------------------------------- Least squares

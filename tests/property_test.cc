@@ -9,10 +9,13 @@
 #include "estimators/leo.hh"
 #include "estimators/offline.hh"
 #include "estimators/online.hh"
+#include "faults/faults.hh"
 #include "linalg/cholesky.hh"
 #include "linalg/simplex.hh"
+#include "obs/obs.hh"
 #include "optimizer/pareto.hh"
 #include "optimizer/schedule.hh"
+#include "runtime/controller.hh"
 #include "stats/metrics.hh"
 #include "telemetry/profile_store.hh"
 #include "telemetry/sampler.hh"
@@ -357,3 +360,136 @@ INSTANTIATE_TEST_SUITE_P(
                       LeoGridParam{0.02, 5.0, 4},
                       LeoGridParam{0.5, 1.0, 8},
                       LeoGridParam{0.02, 1.0, 12}));
+
+// ---------------------------------------- incremental refit schedule
+
+namespace
+{
+
+/** Fault scenarios the refit equivalence must hold across. */
+struct RefitScenario
+{
+    const char *name;
+    faults::FaultScenario scenario;
+};
+
+std::vector<RefitScenario>
+refitSweep()
+{
+    std::vector<RefitScenario> sweep;
+    sweep.push_back({"none", faults::FaultScenario::none()});
+    faults::FaultScenario s;
+    s.nanProb = 0.10;
+    sweep.push_back({"nan", s});
+    s = faults::FaultScenario{};
+    s.outlierProb = 0.10;
+    s.outlierScale = 25.0;
+    sweep.push_back({"outlier", s});
+    s = faults::FaultScenario{};
+    s.nanProb = 0.05;
+    s.dropoutProb = 0.05;
+    s.staleProb = 0.05;
+    sweep.push_back({"mixed", s});
+    return sweep;
+}
+
+/** Drive n windows, appending each accepted configuration. */
+void
+driveSchedule(runtime::EnergyController &ctl,
+              const workloads::ApplicationModel &app,
+              const platform::ConfigSpace &space,
+              const telemetry::HeartbeatMonitor &monitor,
+              const telemetry::PowerMeter &meter, stats::Rng &rng,
+              std::size_t n, std::vector<std::size_t> &schedule)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t cfg = ctl.nextConfig(rng);
+        ASSERT_LT(cfg, space.size());
+        schedule.push_back(cfg);
+        const auto &ra = space.assignment(cfg);
+        ctl.recordMeasurement({cfg, monitor.measureRate(app, ra, rng),
+                               meter.read(app, ra, rng)});
+    }
+}
+
+} // namespace
+
+/**
+ * Batch refits (the executable specification: the Woodbury system is
+ * refactorized from scratch every sample) and incremental refits
+ * (rank-1 Cholesky up/downdates) must drive the controller to the
+ * same accepted-config schedule over the same observation stream,
+ * with or without sensor faults in the stream.
+ */
+class RefitScheduleEquivalence
+    : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(RefitScheduleEquivalence, BatchAndIncrementalAgree)
+{
+    const RefitScenario ns = refitSweep()[GetParam()];
+    SCOPED_TRACE(ns.name);
+
+    platform::Machine machine;
+    auto space = platform::ConfigSpace::coreOnly(machine);
+    telemetry::HeartbeatMonitor monitor(0.01);
+    telemetry::WattsUpMeter meter(0.005, 0.1);
+    stats::Rng store_rng(7);
+    auto store = telemetry::ProfileStore::collect(
+        workloads::standardSuite(), machine, space, monitor, meter,
+        store_rng);
+    workloads::ApplicationModel app(
+        workloads::profileByName("x264"), machine);
+    auto gt = workloads::computeGroundTruth(app, space);
+    const auto prior = store.without("x264");
+
+    estimators::LeoOptions lopt;
+    lopt.representation = estimators::CovarianceRep::LowRank;
+    estimators::LeoEstimator leo(lopt);
+
+    runtime::ControllerOptions copt;
+    copt.targetRate = 0.5 * gt.performance.max();
+    copt.sampleBudget = 6;
+    copt.idlePower = machine.spec().idleSystemPowerW;
+    copt.onlineSampleWindow = 8;
+
+    auto runOne = [&](runtime::RefitMode mode,
+                      std::vector<std::size_t> &schedule) {
+        // Fresh fault wrappers per run: the injector's own RNG stream
+        // is stateful, and both controllers must see the same stream.
+        const faults::FaultyHeartbeatMonitor fmon(monitor,
+                                                  ns.scenario);
+        const faults::FaultyPowerMeter fmet(meter, ns.scenario);
+        runtime::ControllerOptions o = copt;
+        o.refitMode = mode;
+        runtime::EnergyController ctl(space, &leo, prior, o);
+        stats::Rng rng(29);
+        ASSERT_NO_FATAL_FAILURE(driveSchedule(
+            ctl, app, space, fmon, fmet, rng, 60, schedule));
+        EXPECT_TRUE(ctl.performanceEstimate().allFinite());
+        EXPECT_TRUE(ctl.powerEstimate().allFinite());
+    };
+
+    const std::uint64_t applied_before =
+        obs::Registry::global()
+            .counter(obs::names::kRefitSamplesApplied)
+            .value();
+
+    std::vector<std::size_t> batch, incremental;
+    runOne(runtime::RefitMode::Batch, batch);
+    runOne(runtime::RefitMode::Incremental, incremental);
+
+    // The property is vacuous unless the refitters actually ran.
+    EXPECT_GT(obs::Registry::global()
+                  .counter(obs::names::kRefitSamplesApplied)
+                  .value(),
+              applied_before);
+
+    ASSERT_EQ(batch.size(), incremental.size());
+    for (std::size_t i = 0; i < batch.size(); ++i)
+        EXPECT_EQ(batch[i], incremental[i]) << "window " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultSweep, RefitScheduleEquivalence,
+                         ::testing::Range<std::size_t>(0, 4));
