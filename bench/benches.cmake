@@ -31,6 +31,11 @@ target_link_libraries(overhead_leo PRIVATE benchmark::benchmark)
 # determinism cross-check (plain chrono, no google-benchmark).
 leo_add_bench(overhead_parallel)
 
+# Multi-tenant serving-core throughput at 1/4/16 shards with a
+# bitwise schedule cross-check; hand-emits google-benchmark JSON
+# (BENCH_service.json) for tools/bench_diff.py.
+leo_add_bench(overhead_service)
+
 # Ablation benches for the design choices called out in DESIGN.md.
 leo_add_bench(abl01_em_init)
 leo_add_bench(abl02_active_sampling)

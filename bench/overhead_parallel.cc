@@ -91,10 +91,13 @@ main()
                                                 world.machine);
         const auto obs = profiler.sample(model, world.space, policy,
                                          20, rng);
-        requests.push_back(estimators::EstimateRequest{
-            estimators::priorVectors(world.store.without(profile.name),
-                                     estimators::Metric::Performance),
-            obs.indices, obs.performance});
+        estimators::EstimateRequest req;
+        req.prior = estimators::priorVectors(
+            world.store.without(profile.name),
+            estimators::Metric::Performance);
+        req.obsIndices = obs.indices;
+        req.obsValues = obs.performance;
+        requests.push_back(std::move(req));
     }
     std::printf("%zu applications, %zu configurations, "
                 "hardware concurrency %zu\n\n",

@@ -93,18 +93,30 @@ VarianceGuidedSampler::collect(const MeasureFn &measure,
                                   obs.performance, &ws, warm);
         have_fit = true;
 
-        // Rank unobserved configurations by predictive variance.
+        // Rank unobserved configurations by predictive variance. A
+        // low-rank fit run with expandVariance=false never
+        // materialized the n-vector; read the q x n factor directly
+        // instead — lowRankPredictiveVariance evaluates each entry
+        // bitwise identically to the expanded fill, so the ranking
+        // (and every probe it picks) matches the expanded path.
+        const bool factored =
+            fit.lowRank && fit.predictionVariance.size() == 0;
         std::vector<std::size_t> order;
         order.reserve(n);
-        for (std::size_t c = 0; c < n; ++c)
-            if (!seen[c])
-                order.push_back(c);
+        std::vector<double> variance(n, 0.0);
+        for (std::size_t c = 0; c < n; ++c) {
+            if (seen[c])
+                continue;
+            order.push_back(c);
+            variance[c] = factored
+                              ? lowRankPredictiveVariance(fit, c)
+                              : fit.predictionVariance[c];
+        }
         invariant(!order.empty(),
                   "active sampling exhausted the space early");
         std::sort(order.begin(), order.end(),
                   [&](std::size_t a, std::size_t b) {
-                      return fit.predictionVariance[a] >
-                             fit.predictionVariance[b];
+                      return variance[a] > variance[b];
                   });
 
         const std::size_t take = std::min(

@@ -514,26 +514,31 @@ fitLowRank(const LeoOptions &opt,
         ct = cmat;
     }
 
-    // Posterior diagonal: cov_jj = alpha + q_j' Ct q_j, streamed as
-    // rows of Ct Q against rows of Q.
-    Matrix &predt = arena.matrix("lr.predt", q, n);
-    Matrix::multiplyInto(predt, ct, qmat);
     Vector pred_full(n);
     basis.expandInto(pred_full, tc);
-    Vector cov_diag(n, 0.0);
-    for (std::size_t k = 0; k < q; ++k) {
-        const double *qk = qmat.data() + k * n;
-        const double *tk = predt.data() + k * n;
-        for (std::size_t j = 0; j < n; ++j)
-            cov_diag[j] += qk[j] * tk[j];
-    }
-
     fit.prediction = Vector(n);
-    fit.predictionVariance = Vector(n);
-    for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t j = 0; j < n; ++j)
         fit.prediction[j] = std::max(pred_full[j] * scale, 0.0);
-        fit.predictionVariance[j] =
-            (alpha + cov_diag[j] + sigma2) * scale * scale;
+
+    // Posterior diagonal: cov_jj = alpha + q_j' Ct q_j, streamed as
+    // rows of Ct Q against rows of Q. Callers that only query a few
+    // configurations (opt.expandVariance == false) skip the O(n q)
+    // expansion and evaluate entries on demand from varCore via
+    // lowRankPredictiveVariance().
+    if (opt.expandVariance) {
+        Matrix &predt = arena.matrix("lr.predt", q, n);
+        Matrix::multiplyInto(predt, ct, qmat);
+        Vector cov_diag(n, 0.0);
+        for (std::size_t k = 0; k < q; ++k) {
+            const double *qk = qmat.data() + k * n;
+            const double *tk = predt.data() + k * n;
+            for (std::size_t j = 0; j < n; ++j)
+                cov_diag[j] += qk[j] * tk[j];
+        }
+        fit.predictionVariance = Vector(n);
+        for (std::size_t j = 0; j < n; ++j)
+            fit.predictionVariance[j] =
+                (alpha + cov_diag[j] + sigma2) * scale * scale;
     }
     basis.expandInto(fit.mu, g);
     // fit.sigma stays empty: at large n the dense matrix is exactly
@@ -543,10 +548,39 @@ fitLowRank(const LeoOptions &opt,
     fit.basisT = qmat;
     fit.coeff = cmat;
     fit.alphaDiag = alpha;
+    fit.varCore = ct;
     return fit;
 }
 
 } // namespace
+
+double
+lowRankPredictiveVariance(const LeoFit &fit, std::size_t c)
+{
+    const std::size_t q = fit.basisT.rows();
+    require(fit.lowRank, "lowRankPredictiveVariance on a dense fit");
+    require(fit.varCore.rows() == q && fit.varCore.cols() == q,
+            "lowRankPredictiveVariance: missing varCore");
+    require(c < fit.basisT.cols(),
+            "lowRankPredictiveVariance: index out of range");
+    // Same increasing-index accumulation as the expanded path: the
+    // inner dot is one entry of Ct Q (multiplyInto accumulates each
+    // entry in increasing k), the outer dot mirrors the streamed
+    // cov_diag loop, so the result equals fit.predictionVariance[c]
+    // bit for bit.
+    const std::size_t n = fit.basisT.cols();
+    const double *b = fit.basisT.data();
+    double cov = 0.0;
+    for (std::size_t k = 0; k < q; ++k) {
+        const double *ctk = fit.varCore.data() + k * q;
+        double t = 0.0;
+        for (std::size_t k2 = 0; k2 < q; ++k2)
+            t += ctk[k2] * b[k2 * n + c];
+        cov += b[k * n + c] * t;
+    }
+    return (fit.alphaDiag + cov + fit.sigma2) * fit.scale *
+           fit.scale;
+}
 
 void
 setAllocationCounter(std::size_t (*counter)())
@@ -595,6 +629,18 @@ LeoEstimator::estimateMetric(const platform::ConfigSpace &space,
                              linalg::Workspace *ws, const LeoFit *warm,
                              LeoFit *fit_out) const
 {
+    return estimateMetric(space, prior, obs_idx, obs_vals, ws, warm,
+                          fit_out, options_.representation);
+}
+
+MetricEstimate
+LeoEstimator::estimateMetric(const platform::ConfigSpace &space,
+                             const std::vector<linalg::Vector> &prior,
+                             const std::vector<std::size_t> &obs_idx,
+                             const linalg::Vector &obs_vals,
+                             linalg::Workspace *ws, const LeoFit *warm,
+                             LeoFit *fit_out, CovarianceRep rep) const
+{
     MetricEstimate est;
     if (prior.empty()) {
         // No offline knowledge at all: degenerate to a flat guess at
@@ -621,7 +667,7 @@ LeoEstimator::estimateMetric(const platform::ConfigSpace &space,
     est.samplesRejected = clean.rejected;
 
     try {
-        LeoFit fit = fitMetric(prior, idx, vals, ws, warm);
+        LeoFit fit = fitMetric(prior, idx, vals, ws, warm, rep);
         if (fit.prediction.allFinite()) {
             est.iterations = fit.iterations;
             // Unreliable only when observations existed but none
@@ -652,6 +698,7 @@ LeoEstimator::estimateMetric(const platform::ConfigSpace &space,
             std::max(options_.hyperPsiScale * 100.0, 1.0);
         ridge.initSigma2 = std::max(options_.initSigma2, 1e-2);
         ridge.threads = 1;
+        ridge.representation = rep;
         const LeoEstimator heavy(ridge);
         LeoFit fit = heavy.fitMetric(prior, idx, vals, nullptr, nullptr);
         if (fit.prediction.allFinite()) {
@@ -702,6 +749,17 @@ LeoEstimator::fitMetric(const std::vector<linalg::Vector> &prior,
                         const linalg::Vector &obs_vals,
                         linalg::Workspace *ws, const LeoFit *warm) const
 {
+    return fitMetric(prior, obs_idx, obs_vals, ws, warm,
+                     options_.representation);
+}
+
+LeoFit
+LeoEstimator::fitMetric(const std::vector<linalg::Vector> &prior,
+                        const std::vector<std::size_t> &obs_idx,
+                        const linalg::Vector &obs_vals,
+                        linalg::Workspace *ws, const LeoFit *warm,
+                        CovarianceRep rep) const
+{
     require(!prior.empty(), "LeoEstimator: no prior applications");
     require(obs_idx.size() == obs_vals.size(),
             "LeoEstimator: observation index/value mismatch");
@@ -733,8 +791,8 @@ LeoEstimator::fitMetric(const std::vector<linalg::Vector> &prior,
     // headroom for the subspace algebra to win.
     const bool low_rank =
         !options_.referencePath &&
-        (options_.representation == CovarianceRep::LowRank ||
-         (options_.representation == CovarianceRep::Auto &&
+        (rep == CovarianceRep::LowRank ||
+         (rep == CovarianceRep::Auto &&
           4 * (m_prior + s + 1) <= n));
     if (low_rank)
         return fitLowRank(options_, shapes, obs_idx, x_obs, scale, ws,

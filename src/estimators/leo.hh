@@ -122,6 +122,16 @@ struct LeoOptions
      * forces Dense (the reference loop is the dense specification).
      */
     CovarianceRep representation = CovarianceRep::Dense;
+    /**
+     * When false, low-rank fits skip materializing the n-vector
+     * predictionVariance (the q x q posterior core is still stored in
+     * LeoFit::varCore, and lowRankPredictiveVariance() evaluates any
+     * single entry on demand). Saves an O(n q) expansion per fit for
+     * callers — the variance-guided sampler, the serving core — that
+     * only ever query a handful of candidate configurations. Dense
+     * fits ignore the flag.
+     */
+    bool expandVariance = true;
 };
 
 /** Full output of one EM fit (one metric). */
@@ -167,7 +177,26 @@ struct LeoFit
     linalg::Matrix coeff;
     /** Isotropic diagonal term alpha of the factored Sigma. */
     double alphaDiag = 0.0;
+    /** Posterior covariance core Ct (q x q) of the final E-step, so
+     *  the predictive variance of configuration c is
+     *  (alphaDiag + q_c' Ct q_c + sigma2) * scale^2 with q_c = column
+     *  c of basisT (see lowRankPredictiveVariance). Empty on dense
+     *  fits. */
+    linalg::Matrix varCore;
 };
+
+/**
+ * Predictive variance of one configuration from a low-rank fit's
+ * factored posterior, without expanding the full n-vector: evaluates
+ * (alphaDiag + q_c' varCore q_c + sigma2) * scale^2 with the same
+ * increasing-index accumulation order as the expanded
+ * predictionVariance fill, so the result is bitwise identical to
+ * fit.predictionVariance[c].
+ *
+ * @param fit A low-rank fit (fit.lowRank, non-empty varCore).
+ * @param c   Configuration index (column of basisT).
+ */
+double lowRankPredictiveVariance(const LeoFit &fit, std::size_t c);
 
 /**
  * The LEO estimator.
@@ -208,6 +237,23 @@ class LeoEstimator : public Estimator
         const LeoFit *warm, LeoFit *fit_out = nullptr) const;
 
     /**
+     * Representation-override variant: identical to the warm-refit
+     * overload, but dispatches dense/low-rank from `rep` instead of
+     * options().representation. Lets one shared estimator serve
+     * callers whose resolved representation differs per request (the
+     * multi-tenant service batches tenants with per-tenant Auto
+     * resolutions through a single estimator); passing
+     * options().representation is bitwise identical to the 7-argument
+     * overload. The ridge-retry fallback keeps the same override.
+     */
+    MetricEstimate estimateMetric(
+        const platform::ConfigSpace &space,
+        const std::vector<linalg::Vector> &prior,
+        const std::vector<std::size_t> &obs_idx,
+        const linalg::Vector &obs_vals, linalg::Workspace *ws,
+        const LeoFit *warm, LeoFit *fit_out, CovarianceRep rep) const;
+
+    /**
      * Run the full EM fit for one metric and return everything
      * (prediction, fitted parameters, diagnostics).
      *
@@ -243,6 +289,13 @@ class LeoEstimator : public Estimator
                      linalg::Workspace *ws, const LeoFit *warm) const;
 
   private:
+    /** fitMetric with the representation dispatched from `rep`. */
+    LeoFit fitMetric(const std::vector<linalg::Vector> &prior,
+                     const std::vector<std::size_t> &obs_idx,
+                     const linalg::Vector &obs_vals,
+                     linalg::Workspace *ws, const LeoFit *warm,
+                     CovarianceRep rep) const;
+
     /** The pool the fit fans across, per options_.threads. */
     parallel::ThreadPool &pool() const;
 

@@ -128,8 +128,10 @@ runAccuracyExperiment(estimators::Metric metric,
                 metric == estimators::Metric::Performance
                     ? trial.obs.performance
                     : trial.obs.power;
-            estimators::EstimateRequest req{
-                prior_vecs, trial.obs.indices, obs_vals};
+            estimators::EstimateRequest req;
+            req.prior = prior_vecs;
+            req.obsIndices = trial.obs.indices;
+            req.obsValues = obs_vals;
             leo_batch.add(req);
             online_batch.add(req);
             offline_batch.add(std::move(req));

@@ -53,6 +53,15 @@ Cholesky::reserve(std::size_t n)
 }
 
 void
+Cholesky::setFactor(Matrix l)
+{
+    require(l.rows() == l.cols(),
+            "Cholesky::setFactor of non-square matrix");
+    l_ = std::move(l);
+    jitter_ = 0.0;
+}
+
+void
 Cholesky::factorize(const Matrix &a, double added_diag,
                     double max_jitter)
 {

@@ -93,6 +93,16 @@ class Cholesky
     /** @return The lower-triangular factor L. */
     const Matrix &factor() const { return l_; }
 
+    /**
+     * Install an externally produced lower-triangular factor L
+     * directly (deserialization: a snapshot restores the factor a
+     * rank-1 update sequence arrived at, which a refactorization of
+     * the underlying matrix would only reproduce up to rounding).
+     * The matrix must be square; its strict upper triangle is
+     * ignored by every consumer.
+     */
+    void setFactor(Matrix l);
+
     /** @return The jitter that was added to the diagonal (usually 0). */
     double jitterUsed() const { return jitter_; }
 

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Implementation of the bit-exact serialization primitives.
+ */
+
+#include "linalg/serialize.hh"
+
+#include <bit>
+#include <cstring>
+
+namespace leo::linalg
+{
+
+void
+ByteWriter::u32(std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+ByteWriter::u64(std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+ByteWriter::f64(double v)
+{
+    u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void
+ByteWriter::str(const std::string &s)
+{
+    u64(s.size());
+    bytes_.append(s);
+}
+
+void
+ByteWriter::vec(const Vector &v)
+{
+    u64(v.size());
+    for (double x : v)
+        f64(x);
+}
+
+void
+ByteWriter::mat(const Matrix &m)
+{
+    u64(m.rows());
+    u64(m.cols());
+    const double *p = m.data();
+    for (std::size_t i = 0; i < m.rows() * m.cols(); ++i)
+        f64(p[i]);
+}
+
+void
+ByteWriter::indexVec(const std::vector<std::size_t> &v)
+{
+    u64(v.size());
+    for (std::size_t x : v)
+        u64(static_cast<std::uint64_t>(x));
+}
+
+const char *
+ByteReader::claim(std::size_t n)
+{
+    if (!ok_ || bytes_->size() - pos_ < n) {
+        ok_ = false;
+        return nullptr;
+    }
+    const char *p = bytes_->data() + pos_;
+    pos_ += n;
+    return p;
+}
+
+std::uint8_t
+ByteReader::u8()
+{
+    const char *p = claim(1);
+    return p ? static_cast<std::uint8_t>(*p) : 0;
+}
+
+std::uint32_t
+ByteReader::u32()
+{
+    const char *p = claim(4);
+    if (!p)
+        return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<std::uint8_t>(p[i]))
+             << (8 * i);
+    return v;
+}
+
+std::uint64_t
+ByteReader::u64()
+{
+    const char *p = claim(8);
+    if (!p)
+        return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<std::uint8_t>(p[i]))
+             << (8 * i);
+    return v;
+}
+
+double
+ByteReader::f64()
+{
+    return std::bit_cast<double>(u64());
+}
+
+std::string
+ByteReader::str()
+{
+    const std::uint64_t n = u64();
+    // Bound the length by the remaining bytes before allocating, so
+    // a corrupt length fails cleanly instead of attempting a huge
+    // allocation.
+    const char *p = claim(static_cast<std::size_t>(n));
+    if (!p)
+        return std::string{};
+    return std::string(p, static_cast<std::size_t>(n));
+}
+
+Vector
+ByteReader::vec()
+{
+    const std::uint64_t n = u64();
+    if (!ok_ || n > (bytes_->size() - pos_) / 8) {
+        ok_ = false;
+        return Vector{};
+    }
+    Vector v(static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = f64();
+    return v;
+}
+
+Matrix
+ByteReader::mat()
+{
+    const std::uint64_t rows = u64();
+    const std::uint64_t cols = u64();
+    if (!ok_ ||
+        (cols != 0 && rows > (bytes_->size() - pos_) / 8 / cols)) {
+        ok_ = false;
+        return Matrix{};
+    }
+    Matrix m(static_cast<std::size_t>(rows),
+             static_cast<std::size_t>(cols));
+    double *p = m.data();
+    for (std::size_t i = 0; i < rows * cols; ++i)
+        p[i] = f64();
+    return m;
+}
+
+std::vector<std::size_t>
+ByteReader::indexVec()
+{
+    const std::uint64_t n = u64();
+    if (!ok_ || n > (bytes_->size() - pos_) / 8) {
+        ok_ = false;
+        return {};
+    }
+    std::vector<std::size_t> v(static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<std::size_t>(u64());
+    return v;
+}
+
+} // namespace leo::linalg

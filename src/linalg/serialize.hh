@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Bit-exact binary serialization primitives.
+ *
+ * The session snapshot/restore path (runtime controller state,
+ * estimators::LeoFit including the low-rank factors, service tenant
+ * sessions) needs round trips that are *exact*: a restored controller
+ * must reproduce the uninterrupted run's accepted-config schedule
+ * bit for bit, so every double travels as its IEEE-754 bit pattern,
+ * never through a decimal conversion.
+ *
+ * Format rules:
+ *  - All integers are fixed-width little-endian (explicit byte
+ *    packing, so the format is identical across hosts).
+ *  - Doubles are the 8 bytes of their bit pattern (via
+ *    std::bit_cast to std::uint64_t), preserving NaN payloads and
+ *    signed zeros.
+ *  - Containers are a u64 length followed by the elements.
+ *
+ * ByteReader never throws: a truncated or malformed buffer flips
+ * ok() to false and every subsequent read returns zero values, so
+ * callers validate once at the end (the pattern the no-throw
+ * controller restore path requires).
+ */
+
+#ifndef LEO_LINALG_SERIALIZE_HH
+#define LEO_LINALG_SERIALIZE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hh"
+#include "linalg/vector.hh"
+
+namespace leo::linalg
+{
+
+/** Append-only binary encoder (see the format rules above). */
+class ByteWriter
+{
+  public:
+    /** Append one byte. */
+    void u8(std::uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+
+    /** Append a 32-bit little-endian integer. */
+    void u32(std::uint32_t v);
+
+    /** Append a 64-bit little-endian integer. */
+    void u64(std::uint64_t v);
+
+    /** Append a double as its exact IEEE-754 bit pattern. */
+    void f64(double v);
+
+    /** Append a length-prefixed byte string. */
+    void str(const std::string &s);
+
+    /** Append a length-prefixed vector of doubles (bit patterns). */
+    void vec(const Vector &v);
+
+    /** Append a (rows, cols)-prefixed row-major matrix. */
+    void mat(const Matrix &m);
+
+    /** Append a length-prefixed vector of u64 indices. */
+    void indexVec(const std::vector<std::size_t> &v);
+
+    /** @return The encoded buffer. */
+    const std::string &bytes() const { return bytes_; }
+
+    /** Move the encoded buffer out. */
+    std::string take() { return std::move(bytes_); }
+
+  private:
+    std::string bytes_;
+};
+
+/**
+ * Sequential binary decoder over a borrowed buffer.
+ *
+ * Never throws; check ok() after the final read. The borrowed buffer
+ * must outlive the reader.
+ */
+class ByteReader
+{
+  public:
+    /** @param bytes The encoded buffer (borrowed). */
+    explicit ByteReader(const std::string &bytes) : bytes_(&bytes) {}
+
+    /** @return False once any read ran past the end. */
+    bool ok() const { return ok_; }
+
+    /**
+     * Mark the stream failed (e.g. a version or sanity check the
+     * caller performed on decoded values); every later read returns
+     * zero values, as after a range failure.
+     */
+    void fail() { ok_ = false; }
+
+    /** @return True iff every byte has been consumed. */
+    bool atEnd() const { return pos_ == bytes_->size(); }
+
+    /** Read one byte (0 after a failure). */
+    std::uint8_t u8();
+
+    /** Read a 32-bit little-endian integer. */
+    std::uint32_t u32();
+
+    /** Read a 64-bit little-endian integer. */
+    std::uint64_t u64();
+
+    /** Read a double from its bit pattern. */
+    double f64();
+
+    /** Read a length-prefixed byte string. */
+    std::string str();
+
+    /** Read a length-prefixed vector of doubles. */
+    Vector vec();
+
+    /** Read a (rows, cols)-prefixed row-major matrix. */
+    Matrix mat();
+
+    /** Read a length-prefixed vector of u64 indices. */
+    std::vector<std::size_t> indexVec();
+
+  private:
+    /** Claim n bytes; nullptr (and ok_ = false) when exhausted. */
+    const char *claim(std::size_t n);
+
+    const std::string *bytes_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+} // namespace leo::linalg
+
+#endif // LEO_LINALG_SERIALIZE_HH

@@ -103,6 +103,41 @@ inline constexpr const char *kControllerWindowSpan =
     "leo.controller.window";
 inline constexpr const char *kControllerFitSpan = "leo.controller.fit";
 
+// ---- service: the multi-tenant serving core --------------------- //
+inline constexpr const char *kServiceTenantsAdmitted =
+    "leo.service.tenants.admitted";
+inline constexpr const char *kServiceTenantsRejected =
+    "leo.service.tenants.rejected";
+inline constexpr const char *kServiceTenantsClosed =
+    "leo.service.tenants.closed";
+inline constexpr const char *kServiceTenantsActive =
+    "leo.service.tenants.active";
+inline constexpr const char *kServiceSamplesEnqueued =
+    "leo.service.samples.enqueued";
+inline constexpr const char *kServiceSamplesDropped =
+    "leo.service.samples.dropped";
+inline constexpr const char *kServiceWindowsProcessed =
+    "leo.service.windows.processed";
+inline constexpr const char *kServiceTicksRun =
+    "leo.service.ticks.run";
+inline constexpr const char *kServiceFitsBatched =
+    "leo.service.fits.batched";
+inline constexpr const char *kServiceCacheHits =
+    "leo.service.cache.hits";
+inline constexpr const char *kServiceCacheMisses =
+    "leo.service.cache.misses";
+inline constexpr const char *kServiceCacheEvictions =
+    "leo.service.cache.evictions";
+inline constexpr const char *kServicePriorRefreshes =
+    "leo.service.prior.refreshes";
+inline constexpr const char *kServiceSnapshotsSaved =
+    "leo.service.snapshots.saved";
+inline constexpr const char *kServiceSnapshotsRestored =
+    "leo.service.snapshots.restored";
+inline constexpr const char *kServiceTickMs = "leo.service.tick.ms";
+inline constexpr const char *kServiceTickSpan = "leo.service.tick";
+inline constexpr const char *kServiceFitSpan = "leo.service.fit";
+
 // ---- bench: benchmark-local instruments ------------------------- //
 inline constexpr const char *kBenchFitMs = "leo.bench.fit.ms";
 inline constexpr const char *kBenchFitIters = "leo.bench.fit.iters";

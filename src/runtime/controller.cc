@@ -9,6 +9,7 @@
 #include <cmath>
 #include <exception>
 
+#include "estimators/fit_io.hh"
 #include "estimators/offline.hh"
 #include "linalg/error.hh"
 
@@ -37,6 +38,11 @@ std::size_t
 EnergyController::nextConfig(stats::Rng &rng)
 {
     if (state_ == State::Sampling) {
+        // Waiting on applyExternalFit(): the plan is exhausted, so
+        // keep re-offering the last probe (its measurements are
+        // harmless out-of-band telemetry) until the fit lands.
+        if (fit_pending_)
+            return pending_config_;
         if (probe_plan_.empty()) {
             probe_plan_ = rng.sampleWithoutReplacement(
                 space_.size(),
@@ -78,6 +84,11 @@ EnergyController::recordMeasurement(const telemetry::Sample &s)
             history_[s.configIndex] = s.heartbeatRate;
         else
             hist->second = 0.5 * (hist->second + s.heartbeatRate);
+        // While a deferred fit is pending the plan is already
+        // complete; the history update above is all this sample is
+        // good for.
+        if (fit_pending_)
+            return;
         // Only a measurement of the pending probe advances the plan
         // and enters the fit's observation set; anything else is
         // out-of-band telemetry (it fed the history above) — an
@@ -89,6 +100,10 @@ EnergyController::recordMeasurement(const telemetry::Sample &s)
         observations_.push(s);
         ++probe_next_;
         if (probe_next_ >= probe_plan_.size()) {
+            if (options_.deferFits && estimator_ != nullptr) {
+                fit_pending_ = true;
+                return;
+            }
             fit();
             replan();
             state_ = State::Controlling;
@@ -180,6 +195,7 @@ EnergyController::setEstimates(linalg::Vector performance,
     perf_ = std::move(performance);
     power_ = std::move(power);
     fallback_remaining_ = 0;
+    fit_pending_ = false;
     replan();
     state_ = State::Controlling;
 }
@@ -197,6 +213,7 @@ EnergyController::beginSampling()
     boost_ = 0;
     have_avg_ = false;
     fallback_remaining_ = 0;
+    fit_pending_ = false;
     state_ = State::Sampling;
 }
 
@@ -328,15 +345,17 @@ EnergyController::fitUnguarded()
     const auto *as_leo =
         dynamic_cast<const estimators::LeoEstimator *>(estimator_);
     if (as_leo) {
+        const estimators::CovarianceRep rep = fitRepresentation();
         estimators::MetricEstimate perf = as_leo->estimateMetric(
             space_,
             priorVectors(prior_, estimators::Metric::Performance),
             observations_.indices, observations_.performance,
-            &fit_ws_, have_fits_ ? &perf_fit_ : nullptr, &perf_fit_);
+            &fit_ws_, have_fits_ ? &perf_fit_ : nullptr, &perf_fit_,
+            rep);
         estimators::MetricEstimate power = as_leo->estimateMetric(
             space_, priorVectors(prior_, estimators::Metric::Power),
             observations_.indices, observations_.power, &fit_ws_,
-            have_fits_ ? &power_fit_ : nullptr, &power_fit_);
+            have_fits_ ? &power_fit_ : nullptr, &power_fit_, rep);
         have_fits_ = true;
         samples_rejected_.add(perf.samplesRejected +
                               power.samplesRejected);
@@ -378,6 +397,200 @@ EnergyController::replan()
     boost_ = 0;
     have_avg_ = false;
     drift_count_ = 0;
+}
+
+estimators::CovarianceRep
+EnergyController::fitRepresentation() const
+{
+    // An estimator constructed with an explicit non-Dense
+    // representation keeps it; the controller knob only replaces the
+    // estimator's Dense default (so pre-existing LowRank/Auto opt-ins
+    // behave exactly as before this knob existed).
+    const auto *as_leo =
+        dynamic_cast<const estimators::LeoEstimator *>(estimator_);
+    if (as_leo && as_leo->options().representation !=
+                      estimators::CovarianceRep::Dense)
+        return as_leo->options().representation;
+    return options_.representation;
+}
+
+void
+EnergyController::applyExternalFit(estimators::MetricEstimate perf,
+                                   estimators::MetricEstimate power,
+                                   estimators::LeoFit perf_fit,
+                                   estimators::LeoFit power_fit)
+{
+    // Mirror of fit() + the post-plan transition in
+    // recordMeasurement(), with the estimator call replaced by the
+    // caller's results. estimateMetric() never lets an estimator
+    // throw escape (it degrades internally), so the inline path's
+    // try/catch has no analogue here.
+    fit_pending_ = false;
+    samples_rejected_.add(perf.samplesRejected +
+                          power.samplesRejected);
+    perf_fit_ = std::move(perf_fit);
+    power_fit_ = std::move(power_fit);
+    have_fits_ = true;
+    perf_ = std::move(perf.values);
+    power_ = std::move(power.values);
+    if (perf_.size() == space_.size() &&
+        power_.size() == space_.size() && perf_.allFinite() &&
+        power_.allFinite()) {
+        fallback_remaining_ = 0;
+        seedRefits();
+    } else {
+        refit_perf_.deactivate();
+        refit_power_.deactivate();
+        fits_failed_.add(1);
+        fallbackEstimates();
+    }
+    replan();
+    state_ = State::Controlling;
+}
+
+namespace
+{
+
+/** Snapshot format version; bump when the field list changes. */
+constexpr std::uint32_t kControllerStateVersion = 1;
+
+} // namespace
+
+void
+EnergyController::saveState(linalg::ByteWriter &w) const
+{
+    w.u32(kControllerStateVersion);
+    w.u64(space_.size());
+    w.u8(state_ == State::Sampling ? 0 : 1);
+    w.indexVec(observations_.indices);
+    w.vec(observations_.performance);
+    w.vec(observations_.power);
+    w.indexVec(probe_plan_);
+    w.u64(probe_next_);
+    w.vec(perf_);
+    w.vec(power_);
+    w.u8(have_fits_ ? 1 : 0);
+    if (have_fits_) {
+        estimators::saveFit(w, perf_fit_);
+        estimators::saveFit(w, power_fit_);
+    }
+    refit_perf_.save(w);
+    refit_power_.save(w);
+    // The history map is unordered in memory; the blob orders it by
+    // configuration index so identical states serialize identically.
+    std::vector<std::pair<std::size_t, double>> hist(history_.begin(),
+                                                     history_.end());
+    std::sort(hist.begin(), hist.end());
+    w.u64(hist.size());
+    for (const auto &[idx, rate] : hist) {
+        w.u64(idx);
+        w.f64(rate);
+    }
+    w.u64(segment_);
+    w.u64(boost_);
+    w.f64(avg_rate_);
+    w.u8(have_avg_ ? 1 : 0);
+    w.u64(drift_count_);
+    w.u64(reestimations_);
+    w.u64(pending_config_);
+    w.u8(fit_pending_ ? 1 : 0);
+    w.u64(fallback_remaining_);
+    w.u64(fits_failed_.value());
+    w.u64(samples_rejected_.value());
+    w.u64(fallback_windows_.value());
+}
+
+bool
+EnergyController::restoreState(linalg::ByteReader &r)
+{
+    if (r.u32() != kControllerStateVersion ||
+        r.u64() != space_.size()) {
+        r.fail();
+        beginSampling();
+        return false;
+    }
+    const std::uint8_t state = r.u8();
+    observations_ = telemetry::Observations{};
+    observations_.indices = r.indexVec();
+    observations_.performance = r.vec();
+    observations_.power = r.vec();
+    probe_plan_ = r.indexVec();
+    probe_next_ = static_cast<std::size_t>(r.u64());
+    perf_ = r.vec();
+    power_ = r.vec();
+    have_fits_ = r.u8() != 0;
+    if (have_fits_) {
+        perf_fit_ = estimators::loadFit(r);
+        power_fit_ = estimators::loadFit(r);
+    } else {
+        perf_fit_ = estimators::LeoFit{};
+        power_fit_ = estimators::LeoFit{};
+    }
+    // Sequenced explicitly: both restores consume their portion of
+    // the stream even when the first fails.
+    const bool refit_perf_ok = refit_perf_.restore(r);
+    const bool refit_power_ok = refit_power_.restore(r);
+    const bool refits_ok = refit_perf_ok && refit_power_ok;
+    history_.clear();
+    const std::size_t hist_count = static_cast<std::size_t>(r.u64());
+    for (std::size_t i = 0; i < hist_count && r.ok(); ++i) {
+        const std::size_t idx = static_cast<std::size_t>(r.u64());
+        history_[idx] = r.f64();
+    }
+    const std::size_t segment = static_cast<std::size_t>(r.u64());
+    boost_ = static_cast<std::size_t>(r.u64());
+    avg_rate_ = r.f64();
+    have_avg_ = r.u8() != 0;
+    drift_count_ = static_cast<std::size_t>(r.u64());
+    reestimations_ = static_cast<std::size_t>(r.u64());
+    pending_config_ = static_cast<std::size_t>(r.u64());
+    fit_pending_ = r.u8() != 0;
+    fallback_remaining_ = static_cast<std::size_t>(r.u64());
+    const std::uint64_t fits_failed = r.u64();
+    const std::uint64_t samples_rejected = r.u64();
+    const std::uint64_t fallback_windows = r.u64();
+
+    const bool sizes_ok =
+        (perf_.empty() || perf_.size() == space_.size()) &&
+        (power_.empty() || power_.size() == space_.size()) &&
+        observations_.performance.size() ==
+            observations_.indices.size() &&
+        observations_.power.size() == observations_.indices.size() &&
+        probe_next_ <= probe_plan_.size();
+    if (!r.ok() || !sizes_ok) {
+        beginSampling();
+        perf_ = linalg::Vector{};
+        power_ = linalg::Vector{};
+        perf_fit_ = estimators::LeoFit{};
+        power_fit_ = estimators::LeoFit{};
+        have_fits_ = false;
+        history_.clear();
+        frontier_.clear();
+        return false;
+    }
+    // A refitter that failed to restore is not corruption of the
+    // whole snapshot: deactivate both (their states pair) and resume
+    // on fit-once-then-watch, the standard degradation.
+    if (!refits_ok) {
+        refit_perf_.deactivate();
+        refit_power_.deactivate();
+    }
+    state_ = state == 0 ? State::Sampling : State::Controlling;
+    // The frontier is a pure function of the estimates; recompute it
+    // rather than shipping it. The same scan reproduces the saved
+    // segment deterministically, so the serialized value is only a
+    // cross-check.
+    replanPreserving();
+    if (segment_ != segment) {
+        beginSampling();
+        return false;
+    }
+    // Counters restore additively; a freshly constructed controller
+    // has them at zero, so the resumed totals match the saved run.
+    fits_failed_.add(fits_failed);
+    samples_rejected_.add(samples_rejected);
+    fallback_windows_.add(fallback_windows);
+    return true;
 }
 
 std::size_t

@@ -23,6 +23,7 @@
 
 #include "estimators/estimator.hh"
 #include "estimators/leo.hh"
+#include "linalg/serialize.hh"
 #include "linalg/workspace.hh"
 #include "obs/obs.hh"
 #include "optimizer/pareto.hh"
@@ -67,6 +68,26 @@ struct ControllerOptions
      * samples beyond it are evicted oldest-first (0 = keep all).
      */
     std::size_t onlineSampleWindow = 32;
+    /**
+     * Covariance representation for LEO (re)fits. Auto lets each fit
+     * pick the factored path when the rank bound leaves headroom
+     * (4 (M + |Omega| + 1) <= n) and the bitwise-stable dense path
+     * otherwise — on the small spaces the historical tests run, Auto
+     * resolves to Dense and schedules are unchanged. An estimator
+     * constructed with an explicit non-Dense representation keeps it
+     * (see fitRepresentation()); this knob only replaces the
+     * estimator's Dense default.
+     */
+    estimators::CovarianceRep representation =
+        estimators::CovarianceRep::Auto;
+    /**
+     * When true, a completed probe plan parks the controller in
+     * fitPending() instead of fitting inline: an external owner (the
+     * multi-tenant service) collects the observation set, runs the
+     * fit in a shared batch, and hands the result back through
+     * applyExternalFit(). False keeps the self-contained inline fit.
+     */
+    bool deferFits = false;
 };
 
 /**
@@ -134,6 +155,82 @@ class EnergyController
     /** Inject estimates directly (oracle / tests). */
     void setEstimates(linalg::Vector performance,
                       linalg::Vector power);
+
+    /**
+     * True iff the probe plan completed under options().deferFits and
+     * the controller is waiting for applyExternalFit(). While
+     * pending, nextConfig() keeps returning the last probe
+     * configuration (re-measuring it is harmless out-of-band
+     * telemetry).
+     */
+    bool fitPending() const { return fit_pending_; }
+
+    /** @return The observation set a deferred fit must run on. */
+    const telemetry::Observations &observations() const
+    {
+        return observations_;
+    }
+
+    /** @return Warm-start fit for a deferred performance fit (null
+     *  until a first fit completed), valid until the next fit. */
+    const estimators::LeoFit *warmPerfFit() const
+    {
+        return have_fits_ ? &perf_fit_ : nullptr;
+    }
+
+    /** @return Warm-start fit for a deferred power fit. */
+    const estimators::LeoFit *warmPowerFit() const
+    {
+        return have_fits_ ? &power_fit_ : nullptr;
+    }
+
+    /**
+     * The covariance representation LEO (re)fits dispatch on: the
+     * estimator's own non-Dense opt-in when present, else
+     * options().representation. Service callers pass this to their
+     * batched fits (and into the fit-cache key) so an external fit
+     * is bitwise identical to the inline one.
+     */
+    estimators::CovarianceRep fitRepresentation() const;
+
+    /**
+     * Complete a deferred fit: install externally computed estimates
+     * and warm fits, then replan and switch to Controlling — the
+     * exact sequence the inline fit runs, so a deferred fit computed
+     * with the same inputs (observations(), warm fits,
+     * fitRepresentation()) yields a bitwise-identical schedule.
+     * Estimates that come back unusable (wrong size or non-finite)
+     * engage the same degradation policy as an inline fit failure.
+     * Never throws.
+     *
+     * @param perf      Performance estimate from the external fit.
+     * @param power     Power estimate from the external fit.
+     * @param perf_fit  Full performance fit (warm state for next time).
+     * @param power_fit Full power fit.
+     */
+    void applyExternalFit(estimators::MetricEstimate perf,
+                          estimators::MetricEstimate power,
+                          estimators::LeoFit perf_fit,
+                          estimators::LeoFit power_fit);
+
+    /**
+     * Serialize the complete control state — observations, probe
+     * plan, estimates, warm fits, refitters, drift/boost bookkeeping
+     * and degradation counters — so a controller constructed with the
+     * same space, estimator, prior and options can resume the run bit
+     * for bit (see restoreState()).
+     */
+    void saveState(linalg::ByteWriter &w) const;
+
+    /**
+     * Restore state written by saveState(). The controller must have
+     * been constructed with the same configuration space (validated),
+     * estimator kind and options as the saved one — the blob carries
+     * runtime state, not construction parameters. Never throws; on a
+     * truncated or mismatched blob the controller resets to fresh
+     * Sampling state and returns false.
+     */
+    bool restoreState(linalg::ByteReader &r);
 
     /** @return Current estimates (empty before the first fit). */
     const linalg::Vector &performanceEstimate() const
@@ -246,6 +343,8 @@ class EnergyController
     std::size_t drift_count_ = 0;
     std::size_t reestimations_ = 0;
     std::size_t pending_config_ = 0;
+    /** Probe plan complete, external fit not yet applied (deferFits). */
+    bool fit_pending_ = false;
     /** Instance-local registry backing the degradation counters (must
      *  precede the handles below — they bind to it at construction). */
     obs::Registry obs_;

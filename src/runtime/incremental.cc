@@ -190,6 +190,81 @@ IncrementalRefit::evictOverflow()
     }
 }
 
+void
+IncrementalRefit::save(linalg::ByteWriter &w) const
+{
+    w.u8(active_ ? 1 : 0);
+    if (!active_)
+        return;
+    w.u8(static_cast<std::uint8_t>(mode_));
+    w.u64(window_);
+    w.u64(n_);
+    w.u64(q_);
+    w.f64(d_);
+    w.f64(scale_);
+    w.vec(mu_);
+    w.mat(basisT_);
+    w.mat(fmat_);
+    w.mat(kchol_.factor());
+    w.u64(entries_.size());
+    for (const Entry &e : entries_) {
+        w.vec(e.u);
+        w.f64(e.r);
+        w.u64(e.index);
+    }
+    w.u64(rebuilds_);
+}
+
+bool
+IncrementalRefit::restore(linalg::ByteReader &r)
+{
+    deactivate();
+    if (r.u8() == 0)
+        return r.ok();
+    const std::uint8_t mode = r.u8();
+    window_ = static_cast<std::size_t>(r.u64());
+    n_ = static_cast<std::size_t>(r.u64());
+    q_ = static_cast<std::size_t>(r.u64());
+    d_ = r.f64();
+    scale_ = r.f64();
+    mu_ = r.vec();
+    basisT_ = r.mat();
+    fmat_ = r.mat();
+    linalg::Matrix kfac = r.mat();
+    const std::size_t count = static_cast<std::size_t>(r.u64());
+    entries_.clear();
+    for (std::size_t i = 0; i < count && r.ok(); ++i) {
+        Entry e;
+        e.u = r.vec();
+        e.r = r.f64();
+        e.index = static_cast<std::size_t>(r.u64());
+        entries_.push_back(std::move(e));
+    }
+    rebuilds_ = static_cast<std::size_t>(r.u64());
+    if (!r.ok() || mode > static_cast<std::uint8_t>(
+                       RefitMode::Incremental) ||
+        q_ == 0 || n_ == 0 || mu_.size() != n_ ||
+        basisT_.rows() != q_ || basisT_.cols() != n_ ||
+        fmat_.rows() != q_ || fmat_.cols() != q_ ||
+        kfac.rows() != q_ || kfac.cols() != q_ || !(d_ > 0.0) ||
+        !(scale_ > 0.0)) {
+        deactivate();
+        return false;
+    }
+    for (const Entry &e : entries_) {
+        if (e.u.size() != q_ || e.index >= n_) {
+            deactivate();
+            return false;
+        }
+    }
+    mode_ = static_cast<RefitMode>(mode);
+    kchol_.reserve(q_);
+    kchol_.setFactor(std::move(kfac));
+    kmat_.resize(q_, q_);
+    active_ = true;
+    return true;
+}
+
 bool
 IncrementalRefit::predictInto(linalg::Vector &out) const
 {

@@ -41,6 +41,7 @@
 #include "estimators/leo.hh"
 #include "linalg/cholesky.hh"
 #include "linalg/matrix.hh"
+#include "linalg/serialize.hh"
 #include "linalg/vector.hh"
 
 namespace leo::runtime
@@ -113,6 +114,22 @@ class IncrementalRefit
      * @return False iff inactive (out untouched).
      */
     bool predictInto(linalg::Vector &out) const;
+
+    /**
+     * Serialize the full refitter state — frozen theta, sample
+     * window, and the *exact* K factor the rank-1 update sequence
+     * arrived at (a refactorization on restore would only match to
+     * rounding, breaking the bitwise resume contract).
+     */
+    void save(linalg::ByteWriter &w) const;
+
+    /**
+     * Restore state written by save(). Never throws; a truncated or
+     * inconsistent blob deactivates the refitter and returns false
+     * (the controller then degrades to fit-once-then-watch, its
+     * standard response to refit trouble).
+     */
+    bool restore(linalg::ByteReader &r);
 
   private:
     /** One windowed sample: basis loading, normalized residual. */

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Implementation of the deterministic fit cache.
+ */
+
+#include "service/fit_cache.hh"
+
+namespace leo::service
+{
+
+const CachedFit *
+FitCache::lookup(const FitCacheKey &key)
+{
+    if (capacity_ == 0)
+        return nullptr;
+    auto it = entries_.find(key);
+    if (it == entries_.end())
+        return nullptr;
+    it->second.lastUse = ++clock_;
+    return &it->second.fit;
+}
+
+void
+FitCache::insert(const FitCacheKey &key, CachedFit fit)
+{
+    if (capacity_ == 0)
+        return;
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        it->second.fit = std::move(fit);
+        it->second.lastUse = ++clock_;
+        return;
+    }
+    if (entries_.size() >= capacity_) {
+        // Evict the stalest entry; the map's key order breaks use-
+        // counter ties, so the victim is a pure function of the
+        // call history.
+        auto victim = entries_.begin();
+        for (auto cand = entries_.begin(); cand != entries_.end();
+             ++cand) {
+            if (cand->second.lastUse < victim->second.lastUse)
+                victim = cand;
+        }
+        entries_.erase(victim);
+        ++evictions_;
+    }
+    entries_[key] = Entry{std::move(fit), ++clock_};
+}
+
+} // namespace leo::service

@@ -1,0 +1,465 @@
+/**
+ * @file
+ * Implementation of the multi-tenant serving core.
+ */
+
+#include "service/service.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <tuple>
+
+#include "estimators/batch.hh"
+#include "estimators/fit_io.hh"
+#include "linalg/error.hh"
+#include "parallel/parallel_for.hh"
+
+namespace leo::service
+{
+
+namespace
+{
+
+/** Snapshot format version; bump when the field list changes. */
+constexpr std::uint32_t kSnapshotVersion = 1;
+
+} // namespace
+
+Service::Service(const platform::ConfigSpace &space,
+                 const estimators::LeoEstimator &estimator,
+                 std::shared_ptr<const telemetry::ProfileStore> prior,
+                 parallel::ThreadPool &pool, ServiceOptions options)
+    : space_(space), estimator_(estimator), pool_(pool),
+      options_(options), prior_(std::move(prior)),
+      cache_(options.fitCacheCapacity)
+{
+    require(options_.shards >= 1, "Service: need >= 1 shard");
+    require(prior_ != nullptr, "Service: null offline prior");
+    require(prior_->spaceSize() == space_.size() ||
+                prior_->numApplications() == 0,
+            "Service: prior/space size mismatch");
+    queues_.reserve(options_.shards);
+    for (std::size_t s = 0; s < options_.shards; ++s)
+        queues_.push_back(
+            std::make_unique<ShardQueue>(options_.queueCapacity));
+}
+
+std::unique_ptr<runtime::EnergyController>
+Service::makeController(const TenantConfig &config,
+                        const telemetry::ProfileStore &prior) const
+{
+    runtime::ControllerOptions copts = options_.controller;
+    copts.targetRate = config.targetRate;
+    // The service owns fit scheduling: every controller defers.
+    copts.deferFits = true;
+    return std::make_unique<runtime::EnergyController>(
+        space_, &estimator_, prior, copts);
+}
+
+std::optional<std::uint64_t>
+Service::admit(const TenantConfig &config)
+{
+    if (sessions_.size() >= options_.maxTenants ||
+        !(config.targetRate > 0.0) ||
+        !std::isfinite(config.targetRate)) {
+        tenants_rejected_.add(1);
+        return std::nullopt;
+    }
+    const std::uint64_t id = next_id_++;
+    auto sess = std::make_unique<Session>(id, config);
+    sess->prior = prior_;
+    sess->priorVersion = prior_version_;
+    sess->controller = makeController(sess->config, *sess->prior);
+    sessions_[id] = std::move(sess);
+    tenants_admitted_.add(1);
+    tenants_active_.set(static_cast<double>(sessions_.size()));
+    return id;
+}
+
+bool
+Service::close(std::uint64_t tenant)
+{
+    const auto it = sessions_.find(tenant);
+    if (it == sessions_.end())
+        return false;
+    sessions_.erase(it);
+    tenants_closed_.add(1);
+    tenants_active_.set(static_cast<double>(sessions_.size()));
+    return true;
+}
+
+std::size_t
+Service::nextConfig(std::uint64_t tenant)
+{
+    const auto it = sessions_.find(tenant);
+    require(it != sessions_.end(), "Service: unknown tenant");
+    Session &sess = *it->second;
+    return sess.controller->nextConfig(sess.rng);
+}
+
+bool
+Service::submit(std::uint64_t tenant, const telemetry::Sample &s)
+{
+    const auto it = sessions_.find(tenant);
+    if (it == sessions_.end()) {
+        samples_dropped_.add(1);
+        return false;
+    }
+    InboundSample item;
+    item.tenant = tenant;
+    item.seq = it->second->submitSeq.fetch_add(
+        1, std::memory_order_relaxed);
+    item.sample = s;
+    if (!queues_[shardOf(tenant)]->push(item)) {
+        samples_dropped_.add(1);
+        return false;
+    }
+    samples_enqueued_.add(1);
+    return true;
+}
+
+TickReport
+Service::tick()
+{
+    obs::Span span(obs::names::kServiceTickSpan, "service");
+    obs::ScopedMs timer(tick_ms_);
+    TickReport report;
+
+    // Install a staged prior at the tick boundary; running sessions
+    // keep the snapshot they pinned at admission.
+    {
+        const std::lock_guard<std::mutex> lock(pending_prior_mutex_);
+        if (pending_prior_ != nullptr) {
+            prior_ = std::move(pending_prior_);
+            pending_prior_.reset();
+            ++prior_version_;
+            prior_refreshes_.add(1);
+        }
+    }
+
+    const std::size_t nshards = queues_.size();
+    // Shard-local tenant lists, in id order (the replay order).
+    std::vector<std::vector<Session *>> shard_tenants(nshards);
+    for (const auto &[id, sess] : sessions_)
+        shard_tenants[shardOf(id)].push_back(sess.get());
+
+    std::vector<std::vector<std::uint64_t>> shard_pending(nshards);
+    std::vector<std::size_t> shard_windows(nshards, 0);
+    std::vector<std::size_t> shard_dropped(nshards, 0);
+
+    // Drain every shard in one parallel region. A shard exclusively
+    // owns its tenants' sessions, so the loop bodies touch disjoint
+    // state; sorting each batch by (tenant, seq) erases producer
+    // interleaving, making the replay — and every schedule it
+    // produces — independent of thread and shard count.
+    parallel::parallelFor(pool_, nshards, [&](std::size_t s) {
+        std::vector<InboundSample> batch;
+        InboundSample item;
+        while (queues_[s]->pop(item))
+            batch.push_back(item);
+        std::sort(batch.begin(), batch.end(),
+                  [](const InboundSample &a, const InboundSample &b) {
+                      return std::tie(a.tenant, a.seq) <
+                             std::tie(b.tenant, b.seq);
+                  });
+        const std::vector<Session *> &tenants = shard_tenants[s];
+        for (const InboundSample &in : batch) {
+            const auto pos = std::lower_bound(
+                tenants.begin(), tenants.end(), in.tenant,
+                [](const Session *t, std::uint64_t id) {
+                    return t->id < id;
+                });
+            if (pos == tenants.end() || (*pos)->id != in.tenant) {
+                ++shard_dropped[s]; // Tenant closed since submit.
+                continue;
+            }
+            (*pos)->controller->recordMeasurement(in.sample);
+            ++(*pos)->windows;
+            ++shard_windows[s];
+        }
+        for (const Session *sess : tenants)
+            if (sess->controller->fitPending())
+                shard_pending[s].push_back(sess->id);
+    });
+
+    std::vector<std::uint64_t> pending;
+    for (std::size_t s = 0; s < nshards; ++s) {
+        report.windowsProcessed += shard_windows[s];
+        samples_dropped_.add(shard_dropped[s]);
+        pending.insert(pending.end(), shard_pending[s].begin(),
+                       shard_pending[s].end());
+    }
+    windows_processed_.add(report.windowsProcessed);
+    // Fit order must not depend on the shard layout either.
+    std::sort(pending.begin(), pending.end());
+
+    runDeferredFits(pending, report);
+    ticks_run_.add(1);
+    return report;
+}
+
+void
+Service::runDeferredFits(const std::vector<std::uint64_t> &pending,
+                         TickReport &report)
+{
+    if (pending.empty())
+        return;
+    obs::Span span(obs::names::kServiceFitSpan, "service");
+    span.arg("tenants", static_cast<double>(pending.size()));
+
+    // Cache pass: cold fits are pure functions of the key, so a hit
+    // hands the tenant a previously computed result — bitwise what
+    // its own fit would have produced.
+    struct Job
+    {
+        Session *sess = nullptr;
+        FitCacheKey key;
+        bool cold = false;
+    };
+    std::vector<Job> jobs;
+    jobs.reserve(pending.size());
+    for (const std::uint64_t id : pending) {
+        Session &sess = *sessions_.at(id);
+        runtime::EnergyController &ctl = *sess.controller;
+        const bool cold = ctl.warmPerfFit() == nullptr;
+        FitCacheKey key;
+        key.appId = sess.config.appId;
+        key.priorVersion = sess.priorVersion;
+        key.representation =
+            static_cast<std::uint8_t>(ctl.fitRepresentation());
+        key.obsHash =
+            ctl.observations().contentHash(space_.size());
+        if (cold) {
+            if (const CachedFit *hit = cache_.lookup(key)) {
+                ctl.applyExternalFit(hit->perfEstimate,
+                                     hit->powerEstimate,
+                                     hit->perfFit, hit->powerFit);
+                ++report.cacheHits;
+                ++report.tenantsFitted;
+                cache_hits_.add(1);
+                continue;
+            }
+            cache_misses_.add(1);
+        }
+        jobs.push_back(Job{&sess, std::move(key), cold});
+    }
+    if (jobs.empty())
+        return;
+
+    // One shared batch for the whole fleet: the per-tenant q-space
+    // EM work shares a single parallel region instead of N tiny
+    // ones. Requests mirror the controller's inline fit inputs
+    // exactly (observations, warm fits, representation), so
+    // applyExternalFit reproduces the inline schedule bit for bit.
+    estimators::EstimatorBatch batch(estimator_, pool_);
+    std::vector<estimators::LeoFit> perf_fits(jobs.size());
+    std::vector<estimators::LeoFit> power_fits(jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const Session &sess = *jobs[i].sess;
+        const runtime::EnergyController &ctl = *sess.controller;
+        const auto rep = ctl.fitRepresentation();
+
+        estimators::EstimateRequest perf_req;
+        perf_req.prior = estimators::priorVectors(
+            *sess.prior, estimators::Metric::Performance);
+        perf_req.obsIndices = ctl.observations().indices;
+        perf_req.obsValues = ctl.observations().performance;
+        perf_req.warmStart = ctl.warmPerfFit();
+        perf_req.fitOut = &perf_fits[i];
+        perf_req.representation = rep;
+        batch.add(std::move(perf_req));
+
+        estimators::EstimateRequest power_req;
+        power_req.prior = estimators::priorVectors(
+            *sess.prior, estimators::Metric::Power);
+        power_req.obsIndices = ctl.observations().indices;
+        power_req.obsValues = ctl.observations().power;
+        power_req.warmStart = ctl.warmPowerFit();
+        power_req.fitOut = &power_fits[i];
+        power_req.representation = rep;
+        batch.add(std::move(power_req));
+    }
+
+    std::vector<estimators::MetricEstimate> results;
+    try {
+        results = batch.run(space_);
+    } catch (const std::exception &) {
+        // A batch-level failure (estimateMetric itself degrades
+        // internally, so this is an allocation-grade surprise)
+        // reaches every tenant as an empty estimate below, engaging
+        // each controller's own degradation policy.
+        results.clear();
+    }
+
+    const bool have_results = results.size() == 2 * jobs.size();
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        runtime::EnergyController &ctl = *jobs[i].sess->controller;
+        if (have_results) {
+            estimators::MetricEstimate perf =
+                std::move(results[2 * i]);
+            estimators::MetricEstimate power =
+                std::move(results[2 * i + 1]);
+            // Cache only cold, reliable fits: warm fits depend on
+            // private EM history the key does not capture, and an
+            // unreliable fit is a degradation artifact nobody
+            // should inherit.
+            if (jobs[i].cold && perf.reliable && power.reliable) {
+                CachedFit entry;
+                entry.perfEstimate = perf;
+                entry.powerEstimate = power;
+                entry.perfFit = perf_fits[i];
+                entry.powerFit = power_fits[i];
+                cache_.insert(jobs[i].key, std::move(entry));
+            }
+            ctl.applyExternalFit(std::move(perf), std::move(power),
+                                 std::move(perf_fits[i]),
+                                 std::move(power_fits[i]));
+        } else {
+            ctl.applyExternalFit(estimators::MetricEstimate{},
+                                 estimators::MetricEstimate{},
+                                 estimators::LeoFit{},
+                                 estimators::LeoFit{});
+        }
+        report.fitsBatched += 2;
+        ++report.tenantsFitted;
+    }
+    fits_batched_.add(2 * jobs.size());
+    if (cache_.evictions() > evictions_seen_) {
+        cache_evictions_.add(cache_.evictions() - evictions_seen_);
+        evictions_seen_ = cache_.evictions();
+    }
+}
+
+void
+Service::refreshPrior(
+    std::shared_ptr<const telemetry::ProfileStore> prior)
+{
+    require(prior != nullptr, "Service: null refreshed prior");
+    require(prior->spaceSize() == space_.size() ||
+                prior->numApplications() == 0,
+            "Service: refreshed prior/space size mismatch");
+    const std::lock_guard<std::mutex> lock(pending_prior_mutex_);
+    pending_prior_ = std::move(prior);
+}
+
+void
+Service::saveSnapshot(linalg::ByteWriter &w)
+{
+    w.u32(kSnapshotVersion);
+    w.u64(space_.size());
+    w.u64(options_.shards);
+    w.u64(next_id_);
+    w.u64(prior_version_);
+    w.u64(sessions_.size());
+    for (const auto &[id, sess] : sessions_) {
+        w.u64(id);
+        w.str(sess->config.appId);
+        w.f64(sess->config.targetRate);
+        w.u64(sess->config.seed);
+        w.u64(sess->submitSeq.load(std::memory_order_relaxed));
+        w.u64(sess->windows);
+        w.u64(sess->priorVersion);
+        // The mt19937_64 stream operators round-trip the engine
+        // state exactly (decimal integers), so probe selection
+        // resumes on the same draw.
+        std::ostringstream engine;
+        engine << sess->rng.engine();
+        w.str(engine.str());
+        sess->controller->saveState(w);
+    }
+    // Undrained queue contents ride along so no submitted sample is
+    // lost across the snapshot; they are re-enqueued afterwards so
+    // the live service keeps serving.
+    std::vector<InboundSample> queued;
+    InboundSample item;
+    for (const auto &q : queues_)
+        while (q->pop(item))
+            queued.push_back(item);
+    std::sort(queued.begin(), queued.end(),
+              [](const InboundSample &a, const InboundSample &b) {
+                  return std::tie(a.tenant, a.seq) <
+                         std::tie(b.tenant, b.seq);
+              });
+    w.u64(queued.size());
+    for (const InboundSample &in : queued) {
+        w.u64(in.tenant);
+        w.u64(in.seq);
+        w.u64(in.sample.configIndex);
+        w.f64(in.sample.heartbeatRate);
+        w.f64(in.sample.powerWatts);
+    }
+    for (const InboundSample &in : queued)
+        queues_[shardOf(in.tenant)]->push(in);
+    snapshots_saved_.add(1);
+}
+
+bool
+Service::restoreSnapshot(linalg::ByteReader &r)
+{
+    sessions_.clear();
+    InboundSample drain;
+    for (const auto &q : queues_)
+        while (q->pop(drain)) {
+        }
+
+    if (r.u32() != kSnapshotVersion || r.u64() != space_.size() ||
+        r.u64() != options_.shards) {
+        r.fail();
+        tenants_active_.set(0.0);
+        return false;
+    }
+    next_id_ = r.u64();
+    prior_version_ = r.u64();
+    const std::size_t count = static_cast<std::size_t>(r.u64());
+    for (std::size_t i = 0; i < count && r.ok(); ++i) {
+        const std::uint64_t id = r.u64();
+        TenantConfig config;
+        config.appId = r.str();
+        config.targetRate = r.f64();
+        config.seed = r.u64();
+        if (!r.ok() || !(config.targetRate > 0.0) ||
+            !std::isfinite(config.targetRate))
+            break;
+        auto sess = std::make_unique<Session>(id, config);
+        sess->submitSeq.store(r.u64(), std::memory_order_relaxed);
+        sess->windows = r.u64();
+        sess->priorVersion = r.u64();
+        std::istringstream engine(r.str());
+        engine >> sess->rng.engine();
+        if (engine.fail())
+            break;
+        // Restored sessions pin the service's *current* prior; the
+        // restore contract requires it to match the saved service's
+        // (the blob carries runtime state, not the profile store).
+        sess->prior = prior_;
+        sess->controller = makeController(sess->config, *sess->prior);
+        if (!sess->controller->restoreState(r))
+            break;
+        sessions_[id] = std::move(sess);
+    }
+    const std::size_t queued = static_cast<std::size_t>(r.u64());
+    for (std::size_t i = 0; i < queued && r.ok(); ++i) {
+        InboundSample in;
+        in.tenant = r.u64();
+        in.seq = r.u64();
+        in.sample.configIndex = static_cast<std::size_t>(r.u64());
+        in.sample.heartbeatRate = r.f64();
+        in.sample.powerWatts = r.f64();
+        if (r.ok())
+            queues_[shardOf(in.tenant)]->push(in);
+    }
+    if (!r.ok() || sessions_.size() != count) {
+        sessions_.clear();
+        for (const auto &q : queues_)
+            while (q->pop(drain)) {
+            }
+        tenants_active_.set(0.0);
+        return false;
+    }
+    tenants_active_.set(static_cast<double>(sessions_.size()));
+    snapshots_restored_.add(1);
+    return true;
+}
+
+} // namespace leo::service

@@ -1,0 +1,300 @@
+/**
+ * @file
+ * leo::service — the long-running multi-tenant serving core.
+ *
+ * The paper's controller manages exactly one application per
+ * process; this module serves fleets of them from one process by
+ * amortizing the shared machinery (offline prior, thread pool, EM
+ * batching) across N per-tenant EnergyController sessions:
+ *
+ *  - **Sharded dispatch.** Tenants hash (tenant id mod shards) onto
+ *    shards, each with its own lock-free inbound ShardQueue.
+ *    submit() is wait-free against the control plane; tick() drains
+ *    every shard in one parallel region, each shard replaying its
+ *    batch sorted by (tenant, sequence) so producer interleaving
+ *    never reaches a controller — per-tenant schedules are
+ *    bitwise-identical at any shard or thread count.
+ *  - **Batched warm refits.** Tenant controllers run with
+ *    deferFits: a completed probe plan parks the session, the tick
+ *    collects every parked tenant and runs all their EM fits through
+ *    one EstimatorBatch on the shared pool — one parallel region for
+ *    the whole fleet instead of N tiny ones — then hands each result
+ *    back through applyExternalFit() (bitwise identical to the
+ *    inline fit, see controller.hh).
+ *  - **Fit cache + shared prior.** Cold fits are pure functions of
+ *    (app id, prior version, representation, observation hash);
+ *    FitCache shares them across tenants. The offline prior is one
+ *    shared immutable snapshot; refreshPrior() stages a new one from
+ *    any thread and tick() installs it at the next boundary (running
+ *    sessions keep the prior they started with — a fit must never
+ *    change under a tenant mid-run).
+ *  - **Snapshot/restore.** saveSnapshot() serializes every session
+ *    (controller state incl. low-rank fit factors, RNG engine,
+ *    sequence counters) plus undrained queue contents;
+ *    restoreSnapshot() into a service built over the same space,
+ *    estimator and options resumes every schedule bit for bit.
+ *
+ * Threading contract: submit() is safe from any number of threads
+ * concurrently with other submit() calls, with nextConfig() and with
+ * tick() — the data plane never locks. nextConfig() is additionally
+ * safe concurrently for *distinct* tenants. admit(), close(),
+ * tick(), saveSnapshot() and restoreSnapshot() are control-plane
+ * calls: they mutate or replay the session table and must be
+ * externally serialized with each other and — for admit(), close()
+ * and restoreSnapshot(), which change the table itself — with the
+ * data-plane calls too. refreshPrior() is safe from any thread.
+ */
+
+#ifndef LEO_SERVICE_SERVICE_HH
+#define LEO_SERVICE_SERVICE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "estimators/leo.hh"
+#include "linalg/serialize.hh"
+#include "obs/obs.hh"
+#include "parallel/thread_pool.hh"
+#include "runtime/controller.hh"
+#include "service/fit_cache.hh"
+#include "service/shard_queue.hh"
+#include "stats/rng.hh"
+#include "telemetry/profile_store.hh"
+
+namespace leo::service
+{
+
+/** Tunables of the serving core. */
+struct ServiceOptions
+{
+    /** Shard count; tenants hash onto shards by id. */
+    std::size_t shards = 4;
+    /** Per-shard inbound queue slots (rounded up to a power of 2);
+     *  a full queue rejects submit() — backpressure, not blocking. */
+    std::size_t queueCapacity = 1024;
+    /** Admission limit; admit() beyond it is rejected. */
+    std::size_t maxTenants = 256;
+    /** Cold-fit cache entries (0 disables the cache). */
+    std::size_t fitCacheCapacity = 64;
+    /** Template for per-tenant controllers. targetRate is replaced
+     *  by each tenant's demand and deferFits is forced on (the
+     *  service owns the fit batching). */
+    runtime::ControllerOptions controller;
+};
+
+/** Per-tenant admission parameters. */
+struct TenantConfig
+{
+    /** Application identity (the fit-cache key component). */
+    std::string appId;
+    /** Performance demand in heartbeats/s. */
+    double targetRate = 1.0;
+    /** Seed of the tenant's private probe-selection RNG; the whole
+     *  run is a deterministic function of (config, seed, samples). */
+    std::uint64_t seed = 0x1ef0;
+};
+
+/** What one tick() did. */
+struct TickReport
+{
+    /** Measurement windows applied across all tenants. */
+    std::size_t windowsProcessed = 0;
+    /** EM fits executed in the shared batch (2 per fitted tenant). */
+    std::size_t fitsBatched = 0;
+    /** Deferred fits satisfied from the cache. */
+    std::size_t cacheHits = 0;
+    /** Tenants whose deferred fit completed this tick. */
+    std::size_t tenantsFitted = 0;
+};
+
+/**
+ * The multi-tenant serving core. See the file comment for the
+ * architecture and the threading contract.
+ */
+class Service
+{
+  public:
+    /**
+     * @param space     Configuration space shared by every tenant.
+     * @param estimator Shared LEO estimator (borrowed; its
+     *                  estimateMetric is const-thread-safe).
+     * @param prior     Initial shared offline prior.
+     * @param pool      Pool tick() fans across (borrowed).
+     * @param options   Service knobs.
+     */
+    Service(const platform::ConfigSpace &space,
+            const estimators::LeoEstimator &estimator,
+            std::shared_ptr<const telemetry::ProfileStore> prior,
+            parallel::ThreadPool &pool, ServiceOptions options);
+
+    /**
+     * Admit one tenant.
+     *
+     * @return Its tenant id, or nullopt when the service is at
+     *         maxTenants (counted as a rejection).
+     */
+    std::optional<std::uint64_t> admit(const TenantConfig &config);
+
+    /** Close a tenant; its queued samples are dropped at the next
+     *  tick. @return False iff the id is unknown. */
+    bool close(std::uint64_t tenant);
+
+    /** @return Number of live tenants. */
+    std::size_t activeTenants() const { return sessions_.size(); }
+
+    /**
+     * Configuration tenant `tenant` should run its next window in.
+     * Fleet-order independent: the answer depends only on this
+     * tenant's own history.
+     */
+    std::size_t nextConfig(std::uint64_t tenant);
+
+    /**
+     * Route one measurement to the tenant's shard queue. Safe from
+     * any thread; lock-free against every other producer.
+     *
+     * @return False iff the tenant is unknown or its shard queue is
+     *         full (the sample was dropped and counted).
+     */
+    bool submit(std::uint64_t tenant, const telemetry::Sample &s);
+
+    /**
+     * Drain every shard, apply the samples, and run all due fits in
+     * one shared batch. Control-plane exclusive; see the threading
+     * contract.
+     */
+    TickReport tick();
+
+    /**
+     * Stage a refreshed offline prior (built in the background by
+     * the caller); tick() installs it at the next boundary. New
+     * admissions then use it — existing sessions keep the prior they
+     * started with.
+     */
+    void refreshPrior(
+        std::shared_ptr<const telemetry::ProfileStore> prior);
+
+    /**
+     * Serialize every session and the undrained queue contents.
+     * Call between ticks (control-plane exclusive); concurrent
+     * submit() traffic may or may not make the snapshot.
+     */
+    void saveSnapshot(linalg::ByteWriter &w);
+
+    /**
+     * Restore a snapshot into this service. The space, estimator
+     * kind, options and offline prior must match the saved
+     * service's; the snapshot carries runtime state, not
+     * construction parameters. On success every tenant resumes its
+     * schedule bit for bit. On failure (truncated or mismatched
+     * blob) the service is left empty and false is returned.
+     */
+    bool restoreSnapshot(linalg::ByteReader &r);
+
+    /** @return The service's private metrics registry. */
+    const obs::Registry &metrics() const { return obs_; }
+
+    /** @return The shard an id hashes to (exposed for tests). */
+    std::size_t shardOf(std::uint64_t tenant) const
+    {
+        return static_cast<std::size_t>(tenant %
+                                        options_.shards);
+    }
+
+  private:
+    /** One tenant session. */
+    struct Session
+    {
+        std::uint64_t id = 0;
+        TenantConfig config;
+        stats::Rng rng;
+        std::unique_ptr<runtime::EnergyController> controller;
+        /** Prior snapshot pinned at admission. */
+        std::shared_ptr<const telemetry::ProfileStore> prior;
+        /** Version of the pinned prior (fit-cache key component). */
+        std::uint64_t priorVersion = 0;
+        /** Per-tenant submission sequence (drain sort key). */
+        std::atomic<std::uint64_t> submitSeq{0};
+        /** Windows applied so far. */
+        std::uint64_t windows = 0;
+
+        Session(std::uint64_t id_, TenantConfig config_)
+            : id(id_), config(std::move(config_)), rng(config.seed)
+        {
+        }
+    };
+
+    /** Build a controller for a (new or restored) session. */
+    std::unique_ptr<runtime::EnergyController> makeController(
+        const TenantConfig &config,
+        const telemetry::ProfileStore &prior) const;
+
+    /** Run the deferred fits of `pending` (sorted tenant ids). */
+    void runDeferredFits(const std::vector<std::uint64_t> &pending,
+                         TickReport &report);
+
+    const platform::ConfigSpace &space_;
+    const estimators::LeoEstimator &estimator_;
+    parallel::ThreadPool &pool_;
+    ServiceOptions options_;
+
+    /** Live prior + version, swapped only at tick boundaries. */
+    std::shared_ptr<const telemetry::ProfileStore> prior_;
+    std::uint64_t prior_version_ = 0;
+    /** Staged prior from refreshPrior() (any thread). */
+    std::mutex pending_prior_mutex_;
+    std::shared_ptr<const telemetry::ProfileStore> pending_prior_;
+
+    std::uint64_t next_id_ = 0;
+    /** Sessions ordered by id (determinism: iteration order is the
+     *  replay order, so it must not depend on memory layout). */
+    std::map<std::uint64_t, std::unique_ptr<Session>> sessions_;
+    std::vector<std::unique_ptr<ShardQueue>> queues_;
+    FitCache cache_;
+    /** Evictions already forwarded to the eviction counter. */
+    std::size_t evictions_seen_ = 0;
+
+    /** Instance-local metrics (mirrors the controller pattern). */
+    obs::Registry obs_;
+    obs::Counter tenants_admitted_ =
+        obs_.counter(obs::names::kServiceTenantsAdmitted);
+    obs::Counter tenants_rejected_ =
+        obs_.counter(obs::names::kServiceTenantsRejected);
+    obs::Counter tenants_closed_ =
+        obs_.counter(obs::names::kServiceTenantsClosed);
+    obs::Gauge tenants_active_ =
+        obs_.gauge(obs::names::kServiceTenantsActive);
+    obs::Counter samples_enqueued_ =
+        obs_.counter(obs::names::kServiceSamplesEnqueued);
+    obs::Counter samples_dropped_ =
+        obs_.counter(obs::names::kServiceSamplesDropped);
+    obs::Counter windows_processed_ =
+        obs_.counter(obs::names::kServiceWindowsProcessed);
+    obs::Counter ticks_run_ =
+        obs_.counter(obs::names::kServiceTicksRun);
+    obs::Counter fits_batched_ =
+        obs_.counter(obs::names::kServiceFitsBatched);
+    obs::Counter cache_hits_ =
+        obs_.counter(obs::names::kServiceCacheHits);
+    obs::Counter cache_misses_ =
+        obs_.counter(obs::names::kServiceCacheMisses);
+    obs::Counter cache_evictions_ =
+        obs_.counter(obs::names::kServiceCacheEvictions);
+    obs::Counter prior_refreshes_ =
+        obs_.counter(obs::names::kServicePriorRefreshes);
+    obs::Counter snapshots_saved_ =
+        obs_.counter(obs::names::kServiceSnapshotsSaved);
+    obs::Counter snapshots_restored_ =
+        obs_.counter(obs::names::kServiceSnapshotsRestored);
+    obs::Histogram tick_ms_ = obs_.histogram(
+        obs::names::kServiceTickMs, obs::defaultTimeBucketsMs());
+};
+
+} // namespace leo::service
+
+#endif // LEO_SERVICE_SERVICE_HH

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Lock-free bounded inbound queue, one per service shard.
+ *
+ * Producers are application threads calling Service::submit();
+ * the consumer is the shard's drain loop inside Service::tick().
+ * The queue is the classic bounded MPMC ring with a per-cell
+ * sequence number (Vyukov): a producer claims a slot with one CAS on
+ * the enqueue cursor and publishes it by bumping the cell sequence,
+ * so producers never take a lock and never block each other beyond
+ * the CAS retry. A full ring rejects the push (the service counts
+ * the drop) instead of blocking — backpressure must reach the
+ * producer, not stall the control plane.
+ *
+ * Determinism note: arrival *order* across producers is inherently
+ * racy; the service re-establishes determinism by sorting each
+ * drained batch by (tenant, per-tenant sequence number) before
+ * applying it, so queue interleaving never reaches the controllers
+ * (see DESIGN.md section 11).
+ */
+
+#ifndef LEO_SERVICE_SHARD_QUEUE_HH
+#define LEO_SERVICE_SHARD_QUEUE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/error.hh"
+#include "telemetry/measurement.hh"
+
+namespace leo::service
+{
+
+/** One enqueued measurement, tagged for deterministic replay. */
+struct InboundSample
+{
+    /** Tenant the sample belongs to. */
+    std::uint64_t tenant = 0;
+    /** Per-tenant submission sequence number (assigned by submit();
+     *  the drain sort key that erases producer interleaving). */
+    std::uint64_t seq = 0;
+    /** The measurement itself. */
+    telemetry::Sample sample;
+};
+
+/**
+ * Bounded lock-free MPMC ring of InboundSamples.
+ *
+ * push() is safe from any number of threads; pop() is safe from any
+ * number of threads too (the drain uses one). Capacity is rounded up
+ * to a power of two.
+ */
+class ShardQueue
+{
+  public:
+    /** @param capacity Minimum slot count (rounded up to 2^k). */
+    explicit ShardQueue(std::size_t capacity)
+    {
+        std::size_t cap = 1;
+        while (cap < capacity)
+            cap <<= 1;
+        mask_ = cap - 1;
+        cells_ = std::vector<Cell>(cap);
+        for (std::size_t i = 0; i < cap; ++i)
+            cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+
+    ShardQueue(const ShardQueue &) = delete;
+    ShardQueue &operator=(const ShardQueue &) = delete;
+
+    /**
+     * Enqueue one sample.
+     *
+     * @return False iff the ring is full (the caller counts the
+     *         drop; nothing was enqueued).
+     */
+    bool push(const InboundSample &item)
+    {
+        std::size_t pos = enqueue_.load(std::memory_order_relaxed);
+        for (;;) {
+            Cell &cell = cells_[pos & mask_];
+            const std::size_t seq =
+                cell.sequence.load(std::memory_order_acquire);
+            const std::intptr_t diff =
+                static_cast<std::intptr_t>(seq) -
+                static_cast<std::intptr_t>(pos);
+            if (diff == 0) {
+                if (enqueue_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed))
+                {
+                    cell.item = item;
+                    cell.sequence.store(pos + 1,
+                                        std::memory_order_release);
+                    return true;
+                }
+            } else if (diff < 0) {
+                return false; // Full.
+            } else {
+                pos = enqueue_.load(std::memory_order_relaxed);
+            }
+        }
+    }
+
+    /**
+     * Dequeue one sample.
+     *
+     * @return False iff the ring is empty (out untouched).
+     */
+    bool pop(InboundSample &out)
+    {
+        std::size_t pos = dequeue_.load(std::memory_order_relaxed);
+        for (;;) {
+            Cell &cell = cells_[pos & mask_];
+            const std::size_t seq =
+                cell.sequence.load(std::memory_order_acquire);
+            const std::intptr_t diff =
+                static_cast<std::intptr_t>(seq) -
+                static_cast<std::intptr_t>(pos + 1);
+            if (diff == 0) {
+                if (dequeue_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed))
+                {
+                    out = cell.item;
+                    cell.sequence.store(pos + mask_ + 1,
+                                        std::memory_order_release);
+                    return true;
+                }
+            } else if (diff < 0) {
+                return false; // Empty.
+            } else {
+                pos = dequeue_.load(std::memory_order_relaxed);
+            }
+        }
+    }
+
+    /** @return Slot count of the ring. */
+    std::size_t capacity() const { return mask_ + 1; }
+
+  private:
+    struct Cell
+    {
+        std::atomic<std::size_t> sequence{0};
+        InboundSample item;
+    };
+
+    std::vector<Cell> cells_;
+    std::size_t mask_ = 0;
+    /** Producer and consumer cursors on separate cache lines so
+     *  pushes and pops never false-share. */
+    alignas(64) std::atomic<std::size_t> enqueue_{0};
+    alignas(64) std::atomic<std::size_t> dequeue_{0};
+};
+
+} // namespace leo::service
+
+#endif // LEO_SERVICE_SHARD_QUEUE_HH

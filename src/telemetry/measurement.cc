@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Observation content hashing (the fit-cache key).
+ */
+
+#include "telemetry/measurement.hh"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+
+namespace leo::telemetry
+{
+
+namespace
+{
+
+/** @return The value's bit pattern, or 0 when sanitization would
+ *  reject it (non-finite or <= 0 — note +0.0's pattern is also 0,
+ *  consistently: an exact zero is a rejected dropout either way). */
+std::uint64_t
+valueKey(double v)
+{
+    if (!std::isfinite(v) || v <= 0.0)
+        return 0;
+    return std::bit_cast<std::uint64_t>(v);
+}
+
+/** 64-bit FNV-1a step over one u64, low byte first. */
+void
+fnv1a(std::uint64_t &h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xffu;
+        h *= 1099511628211ull;
+    }
+}
+
+} // namespace
+
+std::uint64_t
+Observations::contentHash(std::size_t space_size) const
+{
+    // One triple per sample that carries any usable information;
+    // sorting makes the hash a function of the sample *multiset*.
+    std::vector<std::array<std::uint64_t, 3>> triples;
+    triples.reserve(indices.size());
+    for (std::size_t j = 0; j < indices.size(); ++j) {
+        if (indices[j] >= space_size)
+            continue;
+        const std::uint64_t pk = valueKey(performance[j]);
+        const std::uint64_t wk = valueKey(power[j]);
+        if (pk == 0 && wk == 0)
+            continue;
+        triples.push_back({indices[j], pk, wk});
+    }
+    std::sort(triples.begin(), triples.end());
+
+    std::uint64_t h = 1469598103934665603ull; // FNV offset basis
+    fnv1a(h, triples.size());
+    for (const auto &t : triples) {
+        fnv1a(h, t[0]);
+        fnv1a(h, t[1]);
+        fnv1a(h, t[2]);
+    }
+    return h;
+}
+
+} // namespace leo::telemetry

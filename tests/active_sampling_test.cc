@@ -128,3 +128,48 @@ TEST(ActiveSampling, DetectsMisbehavingCallback)
     EXPECT_THROW(sampler.collect(wrong, prior, 6, w.rng),
                  FatalError);
 }
+
+/**
+ * Low-rank guidance fits that skip the n-vector variance expansion
+ * (expandVariance = false) must select exactly the probes the
+ * expanded path selects: lowRankPredictiveVariance evaluates each
+ * candidate bitwise identically to the expanded fill, so the whole
+ * collected observation set matches.
+ */
+TEST(ActiveSampling, FactoredVarianceMatchesExpandedPath)
+{
+    World w;
+    workloads::ApplicationModel app(
+        workloads::profileByName("kmeans"), w.machine);
+    auto prior = estimators::priorVectors(
+        w.store.without("kmeans"), estimators::Metric::Performance);
+
+    auto run = [&](bool expand) {
+        estimators::ActiveSamplingOptions opt;
+        opt.estimator.representation =
+            estimators::CovarianceRep::LowRank;
+        opt.estimator.expandVariance = expand;
+        estimators::VarianceGuidedSampler sampler(opt);
+        // Fresh, identically seeded streams per run so both paths
+        // see the same measurements and the same seed probes.
+        stats::Rng meas(11);
+        stats::Rng sel(17);
+        auto measure = [&](std::size_t idx) {
+            telemetry::Sample s;
+            s.configIndex = idx;
+            const auto &ra = w.space.assignment(idx);
+            s.heartbeatRate = w.monitor.measureRate(app, ra, meas);
+            s.powerWatts = w.meter.read(app, ra, meas);
+            return s;
+        };
+        return sampler.collect(measure, prior, 14, sel);
+    };
+
+    const auto expanded = run(true);
+    const auto factored = run(false);
+    ASSERT_EQ(expanded.indices, factored.indices);
+    for (std::size_t i = 0; i < expanded.size(); ++i) {
+        EXPECT_EQ(expanded.performance[i], factored.performance[i]);
+        EXPECT_EQ(expanded.power[i], factored.power[i]);
+    }
+}

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "estimators/batch.hh"
+#include "estimators/fit_io.hh"
 #include "estimators/leo.hh"
 #include "estimators/normalization.hh"
 #include "estimators/offline.hh"
@@ -598,8 +599,11 @@ TEST(EstimatorBatch, MatchesIndividualFitsExactly)
         workloads::ApplicationModel app(
             workloads::profileByName(name), w.machine);
         auto obs = prof.sample(app, w.space, pol, 8, w.rng);
-        requests.push_back(estimators::EstimateRequest{
-            std::move(prior), obs.indices, obs.performance});
+        estimators::EstimateRequest req;
+        req.prior = std::move(prior);
+        req.obsIndices = obs.indices;
+        req.obsValues = obs.performance;
+        requests.push_back(std::move(req));
     }
 
     parallel::ThreadPool pool(3);
@@ -865,4 +869,100 @@ TEST(LeoHotLoop, BatchWarmStartMatchesDirectWarmFit)
     expectExactlyEqual(results[0].values, direct.prediction,
                        "batch warm prediction");
     expectFitsExactlyEqual(batch_fit, direct, "batch fitOut");
+}
+
+// --------------------------------------------------- fit round trip
+
+namespace
+{
+
+void
+expectFitsBitwiseEqual(const estimators::LeoFit &a,
+                       const estimators::LeoFit &b)
+{
+    ASSERT_EQ(a.prediction.size(), b.prediction.size());
+    for (std::size_t j = 0; j < a.prediction.size(); ++j)
+        EXPECT_EQ(a.prediction[j], b.prediction[j]);
+    ASSERT_EQ(a.predictionVariance.size(),
+              b.predictionVariance.size());
+    for (std::size_t j = 0; j < a.predictionVariance.size(); ++j)
+        EXPECT_EQ(a.predictionVariance[j], b.predictionVariance[j]);
+    ASSERT_EQ(a.mu.size(), b.mu.size());
+    for (std::size_t j = 0; j < a.mu.size(); ++j)
+        EXPECT_EQ(a.mu[j], b.mu[j]);
+    EXPECT_EQ(a.sigma2, b.sigma2);
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_EQ(a.converged, b.converged);
+    EXPECT_EQ(a.logLikelihoodTrace, b.logLikelihoodTrace);
+    EXPECT_EQ(a.scale, b.scale);
+    EXPECT_EQ(a.warmStarted, b.warmStarted);
+    EXPECT_EQ(a.lowRank, b.lowRank);
+    EXPECT_EQ(a.alphaDiag, b.alphaDiag);
+    ASSERT_EQ(a.basisT.rows(), b.basisT.rows());
+    ASSERT_EQ(a.basisT.cols(), b.basisT.cols());
+    for (std::size_t r = 0; r < a.basisT.rows(); ++r)
+        for (std::size_t c = 0; c < a.basisT.cols(); ++c)
+            EXPECT_EQ(a.basisT(r, c), b.basisT(r, c));
+    ASSERT_EQ(a.varCore.rows(), b.varCore.rows());
+    for (std::size_t r = 0; r < a.varCore.rows(); ++r)
+        for (std::size_t c = 0; c < a.varCore.cols(); ++c)
+            EXPECT_EQ(a.varCore(r, c), b.varCore(r, c));
+}
+
+} // namespace
+
+/**
+ * saveFit/loadFit round-trip every field bit for bit, dense and
+ * low-rank alike — the warm-start continuation from a loaded fit is
+ * indistinguishable from one using the original.
+ */
+TEST(FitIo, RoundTripsDenseAndLowRankBitwise)
+{
+    CoreOnlyWorld w;
+    auto prior = w.priorPerf("kmeans");
+    telemetry::RandomSampler sampler;
+    stats::Rng rng(41);
+    workloads::ApplicationModel app(
+        workloads::profileByName("kmeans"), w.machine);
+    telemetry::Profiler profiler(w.monitor, w.meter);
+    auto obs = profiler.sample(app, w.space, sampler, 8, rng);
+
+    for (const auto rep : {estimators::CovarianceRep::Dense,
+                           estimators::CovarianceRep::LowRank}) {
+        estimators::LeoOptions opt;
+        opt.representation = rep;
+        estimators::LeoEstimator leo(opt);
+        const auto fit =
+            leo.fitMetric(prior, obs.indices, obs.performance);
+
+        linalg::ByteWriter wtr;
+        estimators::saveFit(wtr, fit);
+        const std::string blob = wtr.take();
+        linalg::ByteReader rdr(blob);
+        const auto loaded = estimators::loadFit(rdr);
+        ASSERT_TRUE(rdr.ok());
+        EXPECT_TRUE(rdr.atEnd());
+        ASSERT_NO_FATAL_FAILURE(expectFitsBitwiseEqual(fit, loaded));
+
+        // Warm-starting from the loaded fit matches warm-starting
+        // from the original.
+        const auto warm_orig = leo.fitMetric(
+            prior, obs.indices, obs.performance, nullptr, &fit);
+        const auto warm_loaded = leo.fitMetric(
+            prior, obs.indices, obs.performance, nullptr, &loaded);
+        ASSERT_NO_FATAL_FAILURE(
+            expectFitsBitwiseEqual(warm_orig, warm_loaded));
+    }
+
+    // A truncated blob fails closed.
+    estimators::LeoEstimator leo;
+    const auto fit =
+        leo.fitMetric(prior, obs.indices, obs.performance);
+    linalg::ByteWriter wtr;
+    estimators::saveFit(wtr, fit);
+    std::string blob = wtr.take();
+    blob.resize(blob.size() / 2);
+    linalg::ByteReader rdr(blob);
+    (void)estimators::loadFit(rdr);
+    EXPECT_FALSE(rdr.ok());
 }

@@ -436,3 +436,47 @@ TEST(LowRankHotLoop, SerialLoopIsAllocationFree)
     estimators::setAllocationCounter(nullptr);
     EXPECT_EQ(fit.loopAllocations, 0u);
 }
+
+// ------------------------------------- factored predictive variance
+
+/**
+ * lowRankPredictiveVariance evaluates single entries of the factored
+ * posterior bitwise identically to the expanded predictionVariance
+ * fill, and expandVariance = false only suppresses the expansion —
+ * every other fit field is untouched.
+ */
+TEST(LowRankVariance, OnDemandMatchesExpandedBitwise)
+{
+    auto prior = makePrior(8, 96, 8, 21);
+    std::vector<std::size_t> idx;
+    Vector vals;
+    makeObservations(prior, 12, 22, idx, vals);
+
+    const LeoEstimator expanded(gridOptions(CovarianceRep::LowRank));
+    LeoOptions lazy_opt = gridOptions(CovarianceRep::LowRank);
+    lazy_opt.expandVariance = false;
+    const LeoEstimator lazy(lazy_opt);
+
+    const LeoFit full = expanded.fitMetric(prior, idx, vals);
+    const LeoFit factored = lazy.fitMetric(prior, idx, vals);
+
+    ASSERT_TRUE(full.lowRank);
+    ASSERT_TRUE(factored.lowRank);
+    ASSERT_EQ(full.predictionVariance.size(), 96u);
+    EXPECT_EQ(factored.predictionVariance.size(), 0u);
+    ASSERT_GT(factored.varCore.rows(), 0u);
+
+    for (std::size_t c = 0; c < 96; ++c) {
+        EXPECT_EQ(estimators::lowRankPredictiveVariance(factored, c),
+                  full.predictionVariance[c])
+            << "config " << c;
+        // The expanded fit carries the same core; on-demand entries
+        // agree with its own expansion too.
+        EXPECT_EQ(estimators::lowRankPredictiveVariance(full, c),
+                  full.predictionVariance[c]);
+    }
+    for (std::size_t c = 0; c < 96; ++c)
+        EXPECT_EQ(full.prediction[c], factored.prediction[c]);
+    EXPECT_EQ(full.sigma2, factored.sigma2);
+    EXPECT_EQ(full.alphaDiag, factored.alphaDiag);
+}

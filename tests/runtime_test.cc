@@ -7,6 +7,7 @@
 
 #include "estimators/leo.hh"
 #include "linalg/error.hh"
+#include "linalg/serialize.hh"
 #include "runtime/controller.hh"
 #include "runtime/phased_run.hh"
 #include "telemetry/profile_store.hh"
@@ -235,4 +236,121 @@ TEST(PhasedRun, LeoNearOracleEnergy)
                                    rng_b);
     EXPECT_GT(oracle.totalEnergy, 0.0);
     EXPECT_LT(mine.totalEnergy, oracle.totalEnergy * 1.35);
+}
+
+// --------------------------------- Auto representation default
+
+/**
+ * ControllerOptions defaults to CovarianceRep::Auto, and on the
+ * small test spaces Auto resolves to Dense — so the default-option
+ * schedule is bitwise what it was when Dense was the default.
+ */
+TEST(Controller, AutoRepresentationDefaultPreservesDenseSchedule)
+{
+    World w;
+    estimators::LeoEstimator leo;
+    auto prior = w.store.without("x264");
+    workloads::ApplicationModel app(
+        workloads::profileByName("x264"), w.machine);
+
+    ASSERT_EQ(ControllerOptions{}.representation,
+              estimators::CovarianceRep::Auto);
+
+    auto run = [&](estimators::CovarianceRep rep) {
+        ControllerOptions o = w.options(40.0, 5);
+        o.representation = rep;
+        EnergyController ctl(w.space, &leo, prior, o);
+        stats::Rng rng(23);
+        std::vector<std::size_t> schedule;
+        for (int i = 0; i < 20; ++i) {
+            const std::size_t cfg = ctl.nextConfig(rng);
+            schedule.push_back(cfg);
+            const auto &ra = w.space.assignment(cfg);
+            ctl.recordMeasurement(
+                {cfg, w.monitor.measureRate(app, ra, rng),
+                 w.meter.read(app, ra, rng)});
+        }
+        return schedule;
+    };
+
+    EXPECT_EQ(run(estimators::CovarianceRep::Auto),
+              run(estimators::CovarianceRep::Dense));
+}
+
+// ------------------------------------------ state snapshot/restore
+
+/**
+ * A controller serialized mid-run and restored into a fresh instance
+ * continues exactly the uninterrupted schedule.
+ */
+TEST(Controller, SaveRestoreResumesScheduleBitwise)
+{
+    World w;
+    estimators::LeoOptions lopt;
+    lopt.representation = estimators::CovarianceRep::LowRank;
+    estimators::LeoEstimator leo(lopt);
+    auto prior = w.store.without("fluidanimate");
+    workloads::ApplicationModel app(
+        workloads::profileByName("fluidanimate"), w.machine);
+
+    ControllerOptions o = w.options(30.0, 5);
+    o.onlineSampleWindow = 8;
+    o.refitMode = runtime::RefitMode::Incremental;
+    EnergyController ctl(w.space, &leo, prior, o);
+    stats::Rng rng(31);
+
+    auto window = [&](EnergyController &c, stats::Rng &r) {
+        const std::size_t cfg = c.nextConfig(r);
+        const auto &ra = w.space.assignment(cfg);
+        c.recordMeasurement({cfg,
+                             w.monitor.measureRate(app, ra, r),
+                             w.meter.read(app, ra, r)});
+        return cfg;
+    };
+    for (int i = 0; i < 18; ++i)
+        window(ctl, rng);
+
+    linalg::ByteWriter wtr;
+    ctl.saveState(wtr);
+    // The RNG travels alongside in the real snapshot path; fork a
+    // copy here so both continuations draw the same stream.
+    const std::string blob = wtr.take();
+    EnergyController twin(w.space, &leo, prior, o);
+    linalg::ByteReader rdr(blob);
+    ASSERT_TRUE(twin.restoreState(rdr));
+    ASSERT_TRUE(rdr.ok());
+    EXPECT_EQ(twin.state(), ctl.state());
+
+    stats::Rng rng_a(77), rng_b(77);
+    stats::Rng meas_a(78), meas_b(78);
+    for (int i = 0; i < 16; ++i) {
+        const std::size_t ca = ctl.nextConfig(rng_a);
+        const std::size_t cb = twin.nextConfig(rng_b);
+        ASSERT_EQ(ca, cb) << "window " << i;
+        const auto &ra = w.space.assignment(ca);
+        const telemetry::Sample s{
+            ca, w.monitor.measureRate(app, ra, meas_a),
+            w.meter.read(app, ra, meas_a)};
+        (void)w.monitor.measureRate(app, ra, meas_b);
+        (void)w.meter.read(app, ra, meas_b);
+        ctl.recordMeasurement(s);
+        twin.recordMeasurement(s);
+    }
+}
+
+TEST(Controller, RestoreRejectsTruncatedState)
+{
+    World w;
+    estimators::LeoEstimator leo;
+    auto prior = w.store.without("x264");
+    EnergyController ctl(w.space, &leo, prior, w.options(40.0, 5));
+    linalg::ByteWriter wtr;
+    ctl.saveState(wtr);
+    const std::string blob = wtr.take();
+    const std::string cut = blob.substr(0, blob.size() / 3);
+    EnergyController twin(w.space, &leo, prior, w.options(40.0, 5));
+    linalg::ByteReader rdr(cut);
+    EXPECT_FALSE(twin.restoreState(rdr));
+    // A failed restore resets to a fresh sampling controller.
+    EXPECT_EQ(twin.state(), EnergyController::State::Sampling);
 }

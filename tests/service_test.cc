@@ -1,0 +1,667 @@
+/**
+ * @file
+ * Tests for leo::service — the multi-tenant serving core.
+ *
+ * The load-bearing properties:
+ *  - per-tenant schedules are invariant under shard count and pool
+ *    worker count (sharded dispatch erases producer interleaving);
+ *  - a tenant served through the deferred batched fit path follows
+ *    bitwise the same schedule as a standalone inline-fitting
+ *    controller over the same samples;
+ *  - the cold-fit cache changes cost, never behavior;
+ *  - a snapshot restored into a fresh service resumes every tenant's
+ *    schedule bit for bit, dense and low-rank, with incremental
+ *    refit state, across the fault-scenario sweep.
+ */
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "faults/faults.hh"
+#include "linalg/serialize.hh"
+#include "obs/obs.hh"
+#include "service/service.hh"
+#include "telemetry/profile_store.hh"
+#include "workloads/ground_truth.hh"
+#include "workloads/suite.hh"
+
+using namespace leo;
+using platform::ConfigSpace;
+using platform::Machine;
+using service::Service;
+using service::ServiceOptions;
+using service::TenantConfig;
+
+namespace
+{
+
+/** Shared measurement world; one per fixture. */
+struct World
+{
+    Machine machine;
+    ConfigSpace space = ConfigSpace::coreOnly(machine);
+    telemetry::HeartbeatMonitor monitor{0.01};
+    telemetry::WattsUpMeter meter{0.005, 0.1};
+    stats::Rng store_rng{7};
+    telemetry::ProfileStore store = telemetry::ProfileStore::collect(
+        workloads::standardSuite(), machine, space, monitor, meter,
+        store_rng);
+    std::shared_ptr<const telemetry::ProfileStore> prior =
+        std::make_shared<const telemetry::ProfileStore>(
+            store.without("x264"));
+    workloads::ApplicationModel app{workloads::profileByName("x264"),
+                                    machine};
+    workloads::GroundTruth gt =
+        workloads::computeGroundTruth(app, space);
+
+    ServiceOptions
+    serviceOptions(std::size_t shards) const
+    {
+        ServiceOptions o;
+        o.shards = shards;
+        o.controller.targetRate = 0.5 * gt.performance.max();
+        o.controller.sampleBudget = 6;
+        o.controller.idlePower = machine.spec().idleSystemPowerW;
+        return o;
+    }
+
+    TenantConfig
+    tenant(std::size_t i) const
+    {
+        TenantConfig c;
+        c.appId = "x264";
+        c.targetRate = (0.4 + 0.1 * static_cast<double>(i % 3)) *
+                       gt.performance.max();
+        c.seed = 101 + i;
+        return c;
+    }
+};
+
+/**
+ * Drive every tenant through `windows` windows: one nextConfig +
+ * submit per tenant, one tick per round. Appends each tenant's
+ * accepted configurations to `schedules`.
+ */
+void
+driveFleet(Service &svc, const World &w,
+           const telemetry::HeartbeatMonitor &monitor,
+           const telemetry::PowerMeter &meter,
+           const std::vector<std::uint64_t> &ids,
+           std::vector<stats::Rng> &meas_rngs, std::size_t windows,
+           std::vector<std::vector<std::size_t>> &schedules)
+{
+    ASSERT_EQ(ids.size(), meas_rngs.size());
+    schedules.resize(ids.size());
+    for (std::size_t round = 0; round < windows; ++round) {
+        for (std::size_t t = 0; t < ids.size(); ++t) {
+            const std::size_t cfg = svc.nextConfig(ids[t]);
+            ASSERT_LT(cfg, w.space.size());
+            schedules[t].push_back(cfg);
+            const auto &ra = w.space.assignment(cfg);
+            ASSERT_TRUE(svc.submit(
+                ids[t],
+                {cfg, monitor.measureRate(w.app, ra, meas_rngs[t]),
+                 meter.read(w.app, ra, meas_rngs[t])}));
+        }
+        svc.tick();
+    }
+}
+
+std::vector<stats::Rng>
+measurementRngs(std::size_t n)
+{
+    std::vector<stats::Rng> rngs;
+    for (std::size_t t = 0; t < n; ++t)
+        rngs.emplace_back(900 + t);
+    return rngs;
+}
+
+} // namespace
+
+// -------------------------------------------------- admission basics
+
+TEST(Service, AdmitRejectClose)
+{
+    World w;
+    estimators::LeoEstimator leo;
+    parallel::ThreadPool pool(0);
+    ServiceOptions opt = w.serviceOptions(4);
+    opt.maxTenants = 2;
+    Service svc(w.space, leo, w.prior, pool, opt);
+
+    const auto a = svc.admit(w.tenant(0));
+    const auto b = svc.admit(w.tenant(1));
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_NE(*a, *b);
+    EXPECT_EQ(svc.activeTenants(), 2u);
+
+    // At capacity, and bad demands are rejected outright.
+    EXPECT_FALSE(svc.admit(w.tenant(2)).has_value());
+    TenantConfig bad = w.tenant(3);
+    bad.targetRate = 0.0;
+    EXPECT_FALSE(svc.admit(bad).has_value());
+
+    EXPECT_TRUE(svc.close(*a));
+    EXPECT_FALSE(svc.close(*a));
+    EXPECT_EQ(svc.activeTenants(), 1u);
+
+    const auto snap = svc.metrics().snapshot();
+    EXPECT_EQ(snap.counterOr(obs::names::kServiceTenantsAdmitted),
+              2u);
+    EXPECT_EQ(snap.counterOr(obs::names::kServiceTenantsRejected),
+              2u);
+    EXPECT_EQ(snap.counterOr(obs::names::kServiceTenantsClosed), 1u);
+}
+
+TEST(Service, SubmitToUnknownTenantIsCountedDrop)
+{
+    World w;
+    estimators::LeoEstimator leo;
+    parallel::ThreadPool pool(0);
+    Service svc(w.space, leo, w.prior, pool, w.serviceOptions(2));
+    EXPECT_FALSE(svc.submit(1234, {0, 1.0, 1.0}));
+    EXPECT_EQ(svc.metrics().snapshot().counterOr(
+                  obs::names::kServiceSamplesDropped),
+              1u);
+}
+
+// --------------------------------------- shard/thread-count identity
+
+/**
+ * The same fleet replayed at 1, 4 and 16 shards — and different pool
+ * worker counts — produces bitwise-identical per-tenant schedules:
+ * shard layout is a throughput knob, never a behavior knob.
+ */
+TEST(Service, ScheduleInvariantUnderShardsAndThreads)
+{
+    World w;
+    estimators::LeoEstimator leo;
+    constexpr std::size_t kTenants = 5;
+    constexpr std::size_t kWindows = 24;
+
+    auto run = [&](std::size_t shards, std::size_t workers,
+                   std::vector<std::vector<std::size_t>> &schedules) {
+        parallel::ThreadPool pool(workers);
+        Service svc(w.space, leo, w.prior, pool,
+                    w.serviceOptions(shards));
+        std::vector<std::uint64_t> ids;
+        for (std::size_t t = 0; t < kTenants; ++t) {
+            const auto id = svc.admit(w.tenant(t));
+            ASSERT_TRUE(id.has_value());
+            ids.push_back(*id);
+        }
+        auto rngs = measurementRngs(kTenants);
+        ASSERT_NO_FATAL_FAILURE(driveFleet(svc, w, w.monitor,
+                                           w.meter, ids, rngs,
+                                           kWindows, schedules));
+    };
+
+    std::vector<std::vector<std::size_t>> one, four, sixteen;
+    run(1, 0, one);
+    run(4, 2, four);
+    run(16, 3, sixteen);
+
+    ASSERT_EQ(one.size(), four.size());
+    ASSERT_EQ(one.size(), sixteen.size());
+    for (std::size_t t = 0; t < one.size(); ++t) {
+        EXPECT_EQ(one[t], four[t]) << "tenant " << t;
+        EXPECT_EQ(one[t], sixteen[t]) << "tenant " << t;
+    }
+}
+
+// ------------------------------------ deferred fit == inline fit
+
+/**
+ * A tenant served through the service (deferred fits, batched EM,
+ * shard queues) follows bitwise the same schedule as a standalone
+ * controller fitting inline from the same samples — the deferred
+ * path is a scheduling transformation, not a model change.
+ */
+TEST(Service, MatchesStandaloneInlineController)
+{
+    World w;
+    estimators::LeoEstimator leo;
+    parallel::ThreadPool pool(2);
+    Service svc(w.space, leo, w.prior, pool, w.serviceOptions(4));
+
+    constexpr std::size_t kTenants = 3;
+    constexpr std::size_t kWindows = 30;
+    std::vector<std::uint64_t> ids;
+    std::vector<std::unique_ptr<runtime::EnergyController>> solo;
+    std::vector<stats::Rng> solo_rngs;
+    for (std::size_t t = 0; t < kTenants; ++t) {
+        const TenantConfig cfg = w.tenant(t);
+        const auto id = svc.admit(cfg);
+        ASSERT_TRUE(id.has_value());
+        ids.push_back(*id);
+        runtime::ControllerOptions copts =
+            w.serviceOptions(4).controller;
+        copts.targetRate = cfg.targetRate;
+        solo.push_back(std::make_unique<runtime::EnergyController>(
+            w.space, &leo, *w.prior, copts));
+        solo_rngs.emplace_back(cfg.seed);
+    }
+
+    auto svc_meas = measurementRngs(kTenants);
+    auto solo_meas = measurementRngs(kTenants);
+    for (std::size_t round = 0; round < kWindows; ++round) {
+        for (std::size_t t = 0; t < kTenants; ++t) {
+            const std::size_t via_service = svc.nextConfig(ids[t]);
+            const std::size_t via_solo =
+                solo[t]->nextConfig(solo_rngs[t]);
+            ASSERT_EQ(via_service, via_solo)
+                << "tenant " << t << " window " << round;
+            const auto &ra = w.space.assignment(via_service);
+            const telemetry::Sample s{
+                via_service,
+                w.monitor.measureRate(w.app, ra, svc_meas[t]),
+                w.meter.read(w.app, ra, svc_meas[t])};
+            // Keep the solo measurement stream in lockstep.
+            (void)w.monitor.measureRate(w.app, ra, solo_meas[t]);
+            (void)w.meter.read(w.app, ra, solo_meas[t]);
+            ASSERT_TRUE(svc.submit(ids[t], s));
+            solo[t]->recordMeasurement(s);
+        }
+        svc.tick();
+    }
+    for (std::size_t t = 0; t < kTenants; ++t)
+        EXPECT_EQ(solo[t]->state(),
+                  runtime::EnergyController::State::Controlling);
+}
+
+// -------------------------------------------------- cold-fit cache
+
+/**
+ * Two tenants of the same application with identical observation
+ * sets share one cold fit: the second is served from the cache
+ * (counted) and follows exactly the schedule of the first.
+ */
+TEST(Service, ColdFitCacheServesIdenticalTenant)
+{
+    World w;
+    estimators::LeoEstimator leo;
+    parallel::ThreadPool pool(0);
+    Service svc(w.space, leo, w.prior, pool, w.serviceOptions(4));
+
+    constexpr std::size_t kWindows = 12;
+    const auto a = svc.admit(w.tenant(0));
+    ASSERT_TRUE(a.has_value());
+    std::vector<std::vector<std::size_t>> sched_a;
+    {
+        std::vector<stats::Rng> rngs;
+        rngs.emplace_back(900);
+        ASSERT_NO_FATAL_FAILURE(driveFleet(svc, w, w.monitor,
+                                           w.meter, {*a}, rngs,
+                                           kWindows, sched_a));
+    }
+
+    // Same app, same seed, same measurement stream: the cold fit is
+    // a cache hit, and the schedule replays bit for bit.
+    const auto b = svc.admit(w.tenant(0));
+    ASSERT_TRUE(b.has_value());
+    std::vector<std::vector<std::size_t>> sched_b;
+    {
+        std::vector<stats::Rng> rngs;
+        rngs.emplace_back(900);
+        ASSERT_NO_FATAL_FAILURE(driveFleet(svc, w, w.monitor,
+                                           w.meter, {*b}, rngs,
+                                           kWindows, sched_b));
+    }
+
+    EXPECT_EQ(sched_a[0], sched_b[0]);
+    const auto snap = svc.metrics().snapshot();
+    EXPECT_EQ(snap.counterOr(obs::names::kServiceCacheHits), 1u);
+    EXPECT_EQ(snap.counterOr(obs::names::kServiceCacheMisses), 1u);
+
+    // And the cache is cost-only: a cacheless service produces the
+    // same schedules.
+    ServiceOptions nocache = w.serviceOptions(4);
+    nocache.fitCacheCapacity = 0;
+    Service plain(w.space, leo, w.prior, pool, nocache);
+    const auto c = plain.admit(w.tenant(0));
+    ASSERT_TRUE(c.has_value());
+    std::vector<std::vector<std::size_t>> sched_c;
+    {
+        std::vector<stats::Rng> rngs;
+        rngs.emplace_back(900);
+        ASSERT_NO_FATAL_FAILURE(driveFleet(plain, w, w.monitor,
+                                           w.meter, {*c}, rngs,
+                                           kWindows, sched_c));
+    }
+    EXPECT_EQ(sched_a[0], sched_c[0]);
+    EXPECT_EQ(plain.metrics().snapshot().counterOr(
+                  obs::names::kServiceCacheHits),
+              0u);
+}
+
+// ----------------------------------------------- concurrent submit
+
+/**
+ * submit() from many threads concurrently: every sample is either
+ * applied at the next tick or counted as a drop — none vanish.
+ * (This is the test the TSan preset leans on.)
+ */
+TEST(Service, ConcurrentSubmitAccountsForEverySample)
+{
+    World w;
+    estimators::LeoEstimator leo;
+    parallel::ThreadPool pool(2);
+    ServiceOptions opt = w.serviceOptions(4);
+    opt.queueCapacity = 64; // Small ring: force some drops.
+    Service svc(w.space, leo, w.prior, pool, opt);
+
+    constexpr std::size_t kProducers = 4;
+    constexpr std::size_t kPerProducer = 200;
+    std::vector<std::uint64_t> ids;
+    for (std::size_t t = 0; t < kProducers; ++t) {
+        const auto id = svc.admit(w.tenant(t));
+        ASSERT_TRUE(id.has_value());
+        ids.push_back(*id);
+    }
+
+    std::vector<std::thread> producers;
+    for (std::size_t t = 0; t < kProducers; ++t) {
+        producers.emplace_back([&svc, &ids, t] {
+            for (std::size_t i = 0; i < kPerProducer; ++i)
+                (void)svc.submit(ids[t], {0, 1.0, 1.0});
+        });
+    }
+    for (auto &p : producers)
+        p.join();
+    svc.tick();
+
+    const auto snap = svc.metrics().snapshot();
+    const std::uint64_t enqueued =
+        snap.counterOr(obs::names::kServiceSamplesEnqueued);
+    const std::uint64_t dropped =
+        snap.counterOr(obs::names::kServiceSamplesDropped);
+    const std::uint64_t processed =
+        snap.counterOr(obs::names::kServiceWindowsProcessed);
+    EXPECT_EQ(enqueued + dropped, kProducers * kPerProducer);
+    EXPECT_EQ(processed, enqueued);
+}
+
+// ------------------------------------------------ snapshot/restore
+
+namespace
+{
+
+/** Fault scenarios the snapshot property must hold across (mirrors
+ *  property_test's refit sweep). */
+std::vector<std::pair<const char *, faults::FaultScenario>>
+faultSweep()
+{
+    std::vector<std::pair<const char *, faults::FaultScenario>> v;
+    v.push_back({"none", faults::FaultScenario::none()});
+    faults::FaultScenario s;
+    s.nanProb = 0.10;
+    v.push_back({"nan", s});
+    s = faults::FaultScenario{};
+    s.outlierProb = 0.10;
+    s.outlierScale = 25.0;
+    v.push_back({"outlier", s});
+    s = faults::FaultScenario{};
+    s.nanProb = 0.05;
+    s.dropoutProb = 0.05;
+    s.staleProb = 0.05;
+    v.push_back({"mixed", s});
+    return v;
+}
+
+} // namespace
+
+/**
+ * Snapshot mid-run (with samples still queued), restore into a fresh
+ * service, and continue both side by side over one shared sample
+ * stream: every tenant's remaining schedule is bitwise identical.
+ * Parameter = scenario index * 2 + (0 dense / 1 low-rank with
+ * incremental refits).
+ */
+class ServiceSnapshotProperty
+    : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(ServiceSnapshotProperty, RestoredFleetResumesBitwise)
+{
+    const auto sweep = faultSweep();
+    const auto &[name, scenario] = sweep[GetParam() / 2];
+    const bool lowrank = (GetParam() % 2) == 1;
+    SCOPED_TRACE(name);
+    SCOPED_TRACE(lowrank ? "lowrank+incremental" : "dense");
+
+    World w;
+    estimators::LeoOptions lopt;
+    if (lowrank)
+        lopt.representation = estimators::CovarianceRep::LowRank;
+    estimators::LeoEstimator leo(lopt);
+    ServiceOptions opt = w.serviceOptions(4);
+    opt.controller.onlineSampleWindow = 8;
+    if (lowrank)
+        opt.controller.refitMode = runtime::RefitMode::Incremental;
+
+    parallel::ThreadPool pool(2);
+    Service original(w.space, leo, w.prior, pool, opt);
+
+    constexpr std::size_t kTenants = 3;
+    constexpr std::size_t kBefore = 20;
+    constexpr std::size_t kAfter = 14;
+    std::vector<std::uint64_t> ids;
+    for (std::size_t t = 0; t < kTenants; ++t) {
+        const auto id = original.admit(w.tenant(t));
+        ASSERT_TRUE(id.has_value());
+        ids.push_back(*id);
+    }
+
+    const faults::FaultyHeartbeatMonitor fmon(w.monitor, scenario);
+    const faults::FaultyPowerMeter fmet(w.meter, scenario);
+    auto rngs = measurementRngs(kTenants);
+    std::vector<std::vector<std::size_t>> before;
+    ASSERT_NO_FATAL_FAILURE(driveFleet(original, w, fmon, fmet, ids,
+                                       rngs, kBefore, before));
+
+    // Leave one un-ticked batch in the shard queues so the snapshot
+    // carries in-flight samples, not just controller state.
+    for (std::size_t t = 0; t < kTenants; ++t) {
+        const std::size_t cfg = original.nextConfig(ids[t]);
+        const auto &ra = w.space.assignment(cfg);
+        ASSERT_TRUE(original.submit(
+            ids[t], {cfg, fmon.measureRate(w.app, ra, rngs[t]),
+                     fmet.read(w.app, ra, rngs[t])}));
+    }
+
+    linalg::ByteWriter writer;
+    original.saveSnapshot(writer);
+    const std::string blob = writer.take();
+
+    parallel::ThreadPool pool_b(0); // Different worker count too.
+    ServiceOptions opt_b = opt;
+    opt_b.shards = 4; // Restore requires the same shard count.
+    Service restored(w.space, leo, w.prior, pool_b, opt_b);
+    linalg::ByteReader reader(blob);
+    ASSERT_TRUE(restored.restoreSnapshot(reader));
+    EXPECT_TRUE(reader.atEnd());
+    EXPECT_EQ(restored.activeTenants(), kTenants);
+
+    original.tick();
+    restored.tick();
+
+    // Continue both fleets over one shared measurement stream.
+    for (std::size_t round = 0; round < kAfter; ++round) {
+        for (std::size_t t = 0; t < kTenants; ++t) {
+            const std::size_t cfg_o = original.nextConfig(ids[t]);
+            const std::size_t cfg_r = restored.nextConfig(ids[t]);
+            ASSERT_EQ(cfg_o, cfg_r)
+                << "tenant " << t << " window " << round;
+            const auto &ra = w.space.assignment(cfg_o);
+            const telemetry::Sample s{
+                cfg_o, fmon.measureRate(w.app, ra, rngs[t]),
+                fmet.read(w.app, ra, rngs[t])};
+            ASSERT_TRUE(original.submit(ids[t], s));
+            ASSERT_TRUE(restored.submit(ids[t], s));
+        }
+        original.tick();
+        restored.tick();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultSweep, ServiceSnapshotProperty,
+                         ::testing::Range<std::size_t>(0, 8));
+
+TEST(Service, RestoreRejectsCorruptSnapshot)
+{
+    World w;
+    estimators::LeoEstimator leo;
+    parallel::ThreadPool pool(0);
+    Service svc(w.space, leo, w.prior, pool, w.serviceOptions(2));
+    ASSERT_TRUE(svc.admit(w.tenant(0)).has_value());
+
+    linalg::ByteWriter writer;
+    svc.saveSnapshot(writer);
+    std::string blob = writer.take();
+
+    // Truncation fails cleanly and empties the service.
+    const std::string truncated = blob.substr(0, blob.size() / 2);
+    linalg::ByteReader r1(truncated);
+    EXPECT_FALSE(svc.restoreSnapshot(r1));
+    EXPECT_EQ(svc.activeTenants(), 0u);
+
+    // A flipped version word fails before any session is built.
+    blob[0] = static_cast<char>(blob[0] ^ 0x7f);
+    linalg::ByteReader r2(blob);
+    EXPECT_FALSE(svc.restoreSnapshot(r2));
+    EXPECT_EQ(svc.activeTenants(), 0u);
+}
+
+TEST(Service, PriorRefreshInstallsAtTickBoundary)
+{
+    World w;
+    estimators::LeoEstimator leo;
+    parallel::ThreadPool pool(0);
+    Service svc(w.space, leo, w.prior, pool, w.serviceOptions(2));
+
+    auto refreshed =
+        std::make_shared<const telemetry::ProfileStore>(
+            w.store.without("swish"));
+    svc.refreshPrior(refreshed);
+    EXPECT_EQ(svc.metrics().snapshot().counterOr(
+                  obs::names::kServicePriorRefreshes),
+              0u);
+    svc.tick();
+    EXPECT_EQ(svc.metrics().snapshot().counterOr(
+                  obs::names::kServicePriorRefreshes),
+              1u);
+    // New admissions bind the refreshed prior without disturbance.
+    EXPECT_TRUE(svc.admit(w.tenant(0)).has_value());
+}
+
+// ------------------------------------------------------ shard queue
+
+TEST(ShardQueue, RoundsCapacityAndReportsIt)
+{
+    service::ShardQueue q(100);
+    EXPECT_EQ(q.capacity(), 128u);
+    service::ShardQueue q1(1);
+    EXPECT_EQ(q1.capacity(), 1u);
+}
+
+TEST(ShardQueue, FifoAndFullRejection)
+{
+    service::ShardQueue q(4);
+    service::InboundSample s;
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        s.tenant = 1;
+        s.seq = i;
+        EXPECT_TRUE(q.push(s));
+    }
+    s.seq = 99;
+    EXPECT_FALSE(q.push(s)); // Full.
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        service::InboundSample out;
+        ASSERT_TRUE(q.pop(out));
+        EXPECT_EQ(out.seq, i);
+    }
+    service::InboundSample out;
+    EXPECT_FALSE(q.pop(out)); // Empty.
+    EXPECT_TRUE(q.push(s));   // Usable again after wrap.
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out.seq, 99u);
+}
+
+TEST(ShardQueue, ConcurrentProducersLoseNothing)
+{
+    service::ShardQueue q(1024);
+    constexpr std::uint64_t kProducers = 4;
+    constexpr std::uint64_t kEach = 200;
+    std::vector<std::thread> producers;
+    for (std::uint64_t t = 0; t < kProducers; ++t) {
+        producers.emplace_back([&q, t] {
+            service::InboundSample s;
+            s.tenant = t;
+            for (std::uint64_t i = 0; i < kEach; ++i) {
+                s.seq = i;
+                while (!q.push(s)) {
+                }
+            }
+        });
+    }
+    for (auto &p : producers)
+        p.join();
+
+    std::vector<std::uint64_t> next(kProducers, 0);
+    service::InboundSample out;
+    std::size_t total = 0;
+    while (q.pop(out)) {
+        ++total;
+        // Per-producer FIFO even under contention.
+        EXPECT_EQ(out.seq, next[out.tenant]++);
+    }
+    EXPECT_EQ(total, kProducers * kEach);
+}
+
+// -------------------------------------------------------- fit cache
+
+TEST(FitCache, EvictsLeastRecentlyUsedDeterministically)
+{
+    service::FitCache cache(2);
+    service::FitCacheKey a{"a", 0, 0, 1};
+    service::FitCacheKey b{"b", 0, 0, 2};
+    service::FitCacheKey c{"c", 0, 0, 3};
+    cache.insert(a, {});
+    cache.insert(b, {});
+    EXPECT_NE(cache.lookup(a), nullptr); // a is now most recent.
+    cache.insert(c, {});                 // Evicts b.
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_NE(cache.lookup(a), nullptr);
+    EXPECT_EQ(cache.lookup(b), nullptr);
+    EXPECT_NE(cache.lookup(c), nullptr);
+}
+
+TEST(FitCache, ZeroCapacityDisables)
+{
+    service::FitCache cache(0);
+    service::FitCacheKey k{"a", 0, 0, 1};
+    cache.insert(k, {});
+    EXPECT_EQ(cache.lookup(k), nullptr);
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(FitCache, OverwriteRefreshesWithoutEviction)
+{
+    service::FitCache cache(2);
+    service::FitCacheKey a{"a", 0, 0, 1};
+    service::CachedFit fit;
+    fit.perfEstimate.reliable = true;
+    cache.insert(a, {});
+    cache.insert(a, std::move(fit));
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.evictions(), 0u);
+    const service::CachedFit *got = cache.lookup(a);
+    ASSERT_NE(got, nullptr);
+    EXPECT_TRUE(got->perfEstimate.reliable);
+}

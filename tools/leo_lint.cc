@@ -403,7 +403,7 @@ checkDeterminism(const SourceUnit &unit, const LintContext &,
 {
     if (!underAny(unit.rel,
                   {"src/estimators/", "src/linalg/", "src/parallel/",
-                   "src/optimizer/", "src/stats/"}))
+                   "src/optimizer/", "src/service/", "src/stats/"}))
         return;
     static const std::set<std::string> banned_idents = {
         "random_device", "system_clock", "high_resolution_clock",
