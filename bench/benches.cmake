@@ -23,6 +23,12 @@ leo_add_bench(tab01_phase_energy)
 leo_add_bench(tab02_fault_sweep)
 target_link_libraries(tab02_fault_sweep PRIVATE leo_faults)
 
+# Global co-scheduling vs per-app greedy under a shared power cap
+# (repository addition, DESIGN.md "Global co-scheduling");
+# hand-emits google-benchmark JSON (BENCH_global.json) for
+# tools/bench_diff.py.
+leo_add_bench(tab03_global_cap)
+
 # Section 6.7 overhead microbenchmark (google-benchmark).
 leo_add_bench(overhead_leo)
 target_link_libraries(overhead_leo PRIVATE benchmark::benchmark)

@@ -235,46 +235,87 @@ LinearProgram::solve() const
     LpStatus s1 = t.iterate();
     invariant(s1 != LpStatus::Unbounded, "phase-1 LP unbounded");
 
+    // Feasibility threshold scales with the right-hand side: an
+    // artificial stuck at 1e-6 against constraints of magnitude 1e6
+    // is rounding noise, not infeasibility.
+    double bmax = 0.0;
+    for (std::size_t i = 0; i < m; ++i)
+        bmax = std::max(bmax, std::abs(b[i]));
     double phase1_obj = 0.0;
     for (std::size_t i = 0; i < m; ++i)
         if (t.basis()[i] >= num_vars_ + n_slack)
             phase1_obj += t.rhs()[i];
-    if (phase1_obj > 1e-7)
+    if (phase1_obj > 1e-7 * std::max(1.0, bmax))
         return LpSolution{LpStatus::Infeasible, Vector(num_vars_), 0.0};
 
-    // Drive any remaining artificials out of the basis.
+    // Drive any remaining artificials out of the basis, pivoting on
+    // the largest available element for stability.
     for (std::size_t i = 0; i < m; ++i) {
         if (t.basis()[i] >= num_vars_ + n_slack) {
-            bool pivoted = false;
-            for (std::size_t j = 0; j < num_vars_ + n_slack && !pivoted;
-                 ++j) {
-                if (std::abs(t.a().at(i, j)) > kEps) {
-                    t.pivot(i, j);
-                    pivoted = true;
+            std::size_t best = num_vars_ + n_slack;
+            double best_mag = kEps;
+            for (std::size_t j = 0; j < num_vars_ + n_slack; ++j) {
+                const double mag = std::abs(t.a().at(i, j));
+                if (mag > best_mag) {
+                    best_mag = mag;
+                    best = j;
                 }
             }
-            // A redundant row: the artificial stays basic at zero,
-            // which is harmless for phase 2 with +inf cost guard.
+            if (best < num_vars_ + n_slack)
+                t.pivot(i, best);
         }
     }
 
-    // Phase 2: original objective; artificials get a prohibitive cost
-    // so they never re-enter.
-    Vector c2(n_total, 0.0);
+    // Rows whose artificial could not be driven out are redundant
+    // (linearly dependent on the others — duplicated equalities, zero
+    // rows): every real coefficient left in them is elimination
+    // residue below kEps. Drop them, and drop the artificial columns
+    // with them. Keeping such rows basic with a "prohibitive" cost is
+    // not an option: the cost multiplies the ~1e-16 residues into
+    // garbage reduced costs that misreport bounded programs as
+    // Unbounded (see simplex_stress_test.cc).
+    std::vector<std::size_t> kept;
+    kept.reserve(m);
+    for (std::size_t i = 0; i < m; ++i)
+        if (t.basis()[i] < num_vars_ + n_slack)
+            kept.push_back(i);
+
+    if (kept.empty()) {
+        // Every constraint was redundant with rhs 0: the feasible set
+        // is the whole nonnegative orthant.
+        Vector x(num_vars_, 0.0);
+        for (std::size_t j = 0; j < num_vars_; ++j)
+            if (objective_[j] < 0.0)
+                return LpSolution{LpStatus::Unbounded,
+                                  Vector(num_vars_), 0.0};
+        return LpSolution{LpStatus::Optimal, x, 0.0};
+    }
+
+    // Phase 2: original objective over the real and slack columns
+    // only; artificials are gone.
+    const std::size_t n2 = num_vars_ + n_slack;
+    Matrix a2(kept.size(), n2, 0.0);
+    Vector b2(kept.size(), 0.0);
+    std::vector<std::size_t> basis2(kept.size());
+    for (std::size_t k = 0; k < kept.size(); ++k) {
+        for (std::size_t j = 0; j < n2; ++j)
+            a2.at(k, j) = t.a().at(kept[k], j);
+        b2[k] = t.rhs()[kept[k]];
+        basis2[k] = t.basis()[kept[k]];
+    }
+    Vector c2(n2, 0.0);
     for (std::size_t j = 0; j < num_vars_; ++j)
         c2[j] = objective_[j];
-    for (std::size_t j = num_vars_ + n_slack; j < n_total; ++j)
-        c2[j] = 1e30;
 
-    t.c() = c2;
-    LpStatus s2 = t.iterate();
+    Tableau t2(a2, b2, c2, std::move(basis2));
+    LpStatus s2 = t2.iterate();
     if (s2 == LpStatus::Unbounded)
         return LpSolution{LpStatus::Unbounded, Vector(num_vars_), 0.0};
 
     Vector x(num_vars_, 0.0);
-    for (std::size_t i = 0; i < m; ++i)
-        if (t.basis()[i] < num_vars_)
-            x[t.basis()[i]] = t.rhs()[i];
+    for (std::size_t i = 0; i < kept.size(); ++i)
+        if (t2.basis()[i] < num_vars_)
+            x[t2.basis()[i]] = t2.rhs()[i];
 
     double obj = dot(objective_, x);
     return LpSolution{LpStatus::Optimal, x, obj};

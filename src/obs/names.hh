@@ -79,6 +79,14 @@ inline constexpr const char *kOptimizerPlansInfeasible =
     "leo.optimizer.plans.infeasible";
 inline constexpr const char *kOptimizerPlanSpan = "leo.optimizer.plan";
 
+// ---- optimizer: global multi-app co-scheduling ------------------ //
+inline constexpr const char *kOptimizerGlobalPlansComputed =
+    "leo.optimizer.global.plans.computed";
+inline constexpr const char *kOptimizerGlobalPlansInfeasible =
+    "leo.optimizer.global.plans.infeasible";
+inline constexpr const char *kOptimizerGlobalPlanSpan =
+    "leo.optimizer.global.plan";
+
 // ---- faults: the fault injector --------------------------------- //
 inline constexpr const char *kFaultsReadingsSeen =
     "leo.faults.readings.seen";
@@ -130,6 +138,10 @@ inline constexpr const char *kServiceCacheEvictions =
     "leo.service.cache.evictions";
 inline constexpr const char *kServicePriorRefreshes =
     "leo.service.prior.refreshes";
+inline constexpr const char *kServiceGlobalReplans =
+    "leo.service.global.replans";
+inline constexpr const char *kServiceGlobalInfeasible =
+    "leo.service.global.infeasible";
 inline constexpr const char *kServiceSnapshotsSaved =
     "leo.service.snapshots.saved";
 inline constexpr const char *kServiceSnapshotsRestored =

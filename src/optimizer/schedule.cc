@@ -343,7 +343,15 @@ executeScheduleGuarded(const Schedule &schedule,
         if (to_boundary > 0.0 && to_boundary < 1e-9)
             now += to_boundary;
 
+        // The snap may have carried `now` onto (or a hair past) the
+        // deadline when a plan piece ends within epsilon of it.
+        // Dividing by the remaining time would then produce a
+        // negative or unbounded required rate and a negative step
+        // that walks time backwards; the window is over, so leave the
+        // loop and let the overtime block below finish the work.
         const double time_left = constraint.deadlineSeconds - now;
+        if (time_left <= 1e-12)
+            break;
         const double required = work_left / time_left;
 
         std::size_t cfg = planned_at(now);
@@ -377,8 +385,15 @@ executeScheduleGuarded(const Schedule &schedule,
     }
 
     if (work_left > 1e-12) {
-        // Physically infeasible demand: finish flat out, late.
+        // Physically infeasible demand: finish flat out, late. A
+        // zero-rate frontier (no configuration makes progress) would
+        // divide the remaining work by zero and return a non-finite
+        // completion time; fail loudly instead, matching
+        // executeSchedule's contract.
         const TradeoffPoint &fastest = frontier.back();
+        require(fastest.performance > 0.0,
+                "executeScheduleGuarded: no configuration makes "
+                "progress");
         const double extra = work_left / fastest.performance;
         energy += true_power[fastest.configIndex] * extra;
         now += extra;

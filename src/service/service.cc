@@ -21,8 +21,9 @@ namespace leo::service
 namespace
 {
 
-/** Snapshot format version; bump when the field list changes. */
-constexpr std::uint32_t kSnapshotVersion = 1;
+/** Snapshot format version; bump when the field list changes.
+ *  v2 added TenantConfig::deadlineSeconds. */
+constexpr std::uint32_t kSnapshotVersion = 2;
 
 } // namespace
 
@@ -35,6 +36,11 @@ Service::Service(const platform::ConfigSpace &space,
       cache_(options.fitCacheCapacity)
 {
     require(options_.shards >= 1, "Service: need >= 1 shard");
+    require(!options_.globalPlanning ||
+                options_.planningHorizonSeconds > 0.0,
+            "Service: planning horizon must be > 0");
+    require(!std::isnan(options_.powerCapWatts),
+            "Service: power cap is NaN");
     require(prior_ != nullptr, "Service: null offline prior");
     require(prior_->spaceSize() == space_.size() ||
                 prior_->numApplications() == 0,
@@ -62,7 +68,9 @@ Service::admit(const TenantConfig &config)
 {
     if (sessions_.size() >= options_.maxTenants ||
         !(config.targetRate > 0.0) ||
-        !std::isfinite(config.targetRate)) {
+        !std::isfinite(config.targetRate) ||
+        !(config.deadlineSeconds >= 0.0) ||
+        !std::isfinite(config.deadlineSeconds)) {
         tenants_rejected_.add(1);
         return std::nullopt;
     }
@@ -84,6 +92,10 @@ Service::close(std::uint64_t tenant)
     if (it == sessions_.end())
         return false;
     sessions_.erase(it);
+    // Drop the fleet plan rather than serve the closed tenant's
+    // stale slice; the next tick() rebuilds it.
+    global_plan_ = optimizer::GlobalSchedule{};
+    global_tenants_.clear();
     tenants_closed_.add(1);
     tenants_active_.set(static_cast<double>(sessions_.size()));
     return true;
@@ -195,8 +207,64 @@ Service::tick()
     std::sort(pending.begin(), pending.end());
 
     runDeferredFits(pending, report);
+    if (options_.globalPlanning)
+        globalReplan(report);
     ticks_run_.add(1);
     return report;
+}
+
+void
+Service::globalReplan(TickReport &report)
+{
+    // Gather demands in id order (sessions_ is an ordered map), so
+    // the plan is a pure function of the session table — independent
+    // of shard layout, thread count and producer interleaving.
+    std::vector<optimizer::TenantDemand> demands;
+    std::vector<std::uint64_t> planned;
+    for (const auto &[id, sess] : sessions_) {
+        const runtime::EnergyController &ctl = *sess->controller;
+        if (!ctl.hasEstimates())
+            continue; // Still probing: nothing to plan from yet.
+        optimizer::TenantDemand d;
+        d.performance = ctl.performanceEstimate();
+        d.power = ctl.powerEstimate();
+        const double deadline =
+            sess->config.deadlineSeconds > 0.0
+                ? sess->config.deadlineSeconds
+                : options_.planningHorizonSeconds;
+        d.constraint.deadlineSeconds = deadline;
+        d.constraint.work = sess->config.targetRate * deadline;
+        demands.push_back(std::move(d));
+        planned.push_back(id);
+    }
+
+    global_tenants_ = std::move(planned);
+    if (global_tenants_.empty()) {
+        global_plan_ = optimizer::GlobalSchedule{};
+        return;
+    }
+    optimizer::GlobalPlanOptions popts;
+    popts.powerCapWatts = options_.powerCapWatts;
+    global_plan_ = optimizer::planGlobalSchedule(
+        demands, options_.controller.idlePower, popts);
+    global_replans_.add(1);
+    if (!global_plan_.feasible)
+        global_infeasible_.add(1);
+    report.tenantsPlanned = global_tenants_.size();
+    report.globalFeasible = global_plan_.feasible;
+    report.globalPredictedEnergy = global_plan_.predictedEnergy;
+}
+
+const optimizer::Schedule *
+Service::tenantSchedule(std::uint64_t tenant) const
+{
+    const auto it = std::lower_bound(global_tenants_.begin(),
+                                     global_tenants_.end(), tenant);
+    if (it == global_tenants_.end() || *it != tenant)
+        return nullptr;
+    const std::size_t idx = static_cast<std::size_t>(
+        it - global_tenants_.begin());
+    return &global_plan_.perTenant[idx];
 }
 
 void
@@ -356,6 +424,7 @@ Service::saveSnapshot(linalg::ByteWriter &w)
         w.u64(id);
         w.str(sess->config.appId);
         w.f64(sess->config.targetRate);
+        w.f64(sess->config.deadlineSeconds);
         w.u64(sess->config.seed);
         w.u64(sess->submitSeq.load(std::memory_order_relaxed));
         w.u64(sess->windows);
@@ -398,6 +467,10 @@ bool
 Service::restoreSnapshot(linalg::ByteReader &r)
 {
     sessions_.clear();
+    // The fleet plan is derived state: it is not in the snapshot and
+    // the next tick() after a successful restore reproduces it.
+    global_plan_ = optimizer::GlobalSchedule{};
+    global_tenants_.clear();
     InboundSample drain;
     for (const auto &q : queues_)
         while (q->pop(drain)) {
@@ -417,9 +490,12 @@ Service::restoreSnapshot(linalg::ByteReader &r)
         TenantConfig config;
         config.appId = r.str();
         config.targetRate = r.f64();
+        config.deadlineSeconds = r.f64();
         config.seed = r.u64();
         if (!r.ok() || !(config.targetRate > 0.0) ||
-            !std::isfinite(config.targetRate))
+            !std::isfinite(config.targetRate) ||
+            !(config.deadlineSeconds >= 0.0) ||
+            !std::isfinite(config.deadlineSeconds))
             break;
         auto sess = std::make_unique<Session>(id, config);
         sess->submitSeq.store(r.u64(), std::memory_order_relaxed);

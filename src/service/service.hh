@@ -28,6 +28,13 @@
  *    any thread and tick() installs it at the next boundary (running
  *    sessions keep the prior they started with — a fit must never
  *    change under a tenant mid-run).
+ *  - **Global co-scheduling.** With ServiceOptions::globalPlanning
+ *    on, every tick() ends by co-scheduling all tenants that have
+ *    estimates onto the one machine through the interval LP of
+ *    optimizer/global.hh, optionally under a machine power cap. The
+ *    fleet plan is exposed through globalPlan()/tenantSchedule() and
+ *    is a pure function of the session table, so it inherits the
+ *    shard- and thread-count independence of the replay.
  *  - **Snapshot/restore.** saveSnapshot() serializes every session
  *    (controller state incl. low-rank fit factors, RNG engine,
  *    sequence counters) plus undrained queue contents;
@@ -59,6 +66,7 @@
 #include "estimators/leo.hh"
 #include "linalg/serialize.hh"
 #include "obs/obs.hh"
+#include "optimizer/global.hh"
 #include "parallel/thread_pool.hh"
 #include "runtime/controller.hh"
 #include "service/fit_cache.hh"
@@ -85,6 +93,15 @@ struct ServiceOptions
      *  by each tenant's demand and deferFits is forced on (the
      *  service owns the fit batching). */
     runtime::ControllerOptions controller;
+    /** When true, every tick() ends by co-scheduling the whole fleet
+     *  on one machine with optimizer::planGlobalSchedule; the result
+     *  is exposed through globalPlan() / tenantSchedule(). */
+    bool globalPlanning = false;
+    /** Machine-wide average-power cap fed to the global planner. */
+    double powerCapWatts = optimizer::kNoPowerCap;
+    /** Deadline given to tenants that do not set their own: each
+     *  horizon must deliver targetRate * horizon heartbeats. */
+    double planningHorizonSeconds = 1.0;
 };
 
 /** Per-tenant admission parameters. */
@@ -94,6 +111,10 @@ struct TenantConfig
     std::string appId;
     /** Performance demand in heartbeats/s. */
     double targetRate = 1.0;
+    /** Global-planning deadline (seconds); tenants with a tighter
+     *  deadline are packed earlier by the co-scheduler. 0 (the
+     *  default) inherits ServiceOptions::planningHorizonSeconds. */
+    double deadlineSeconds = 0.0;
     /** Seed of the tenant's private probe-selection RNG; the whole
      *  run is a deterministic function of (config, seed, samples). */
     std::uint64_t seed = 0x1ef0;
@@ -110,6 +131,13 @@ struct TickReport
     std::size_t cacheHits = 0;
     /** Tenants whose deferred fit completed this tick. */
     std::size_t tenantsFitted = 0;
+    /** Tenants included in the global co-schedule (0 = planning off
+     *  or no tenant has estimates yet). */
+    std::size_t tenantsPlanned = 0;
+    /** True iff the last global plan met every constraint. */
+    bool globalFeasible = true;
+    /** Predicted machine energy of the global plan (Joules). */
+    double globalPredictedEnergy = 0.0;
 };
 
 /**
@@ -196,6 +224,22 @@ class Service
      */
     bool restoreSnapshot(linalg::ByteReader &r);
 
+    /**
+     * Latest fleet co-schedule (empty before the first planning
+     * tick, or when globalPlanning is off). Derived state: it is not
+     * snapshotted, and restoring + one tick() reproduces it exactly.
+     */
+    const optimizer::GlobalSchedule &globalPlan() const
+    {
+        return global_plan_;
+    }
+
+    /** The tenant's slice of the latest global plan, or nullptr when
+     *  the tenant was not in it (unknown, closed, or no estimates at
+     *  planning time). */
+    const optimizer::Schedule *tenantSchedule(
+        std::uint64_t tenant) const;
+
     /** @return The service's private metrics registry. */
     const obs::Registry &metrics() const { return obs_; }
 
@@ -238,6 +282,9 @@ class Service
     void runDeferredFits(const std::vector<std::uint64_t> &pending,
                          TickReport &report);
 
+    /** Re-plan the fleet co-schedule from current estimates. */
+    void globalReplan(TickReport &report);
+
     const platform::ConfigSpace &space_;
     const estimators::LeoEstimator &estimator_;
     parallel::ThreadPool &pool_;
@@ -258,6 +305,12 @@ class Service
     FitCache cache_;
     /** Evictions already forwarded to the eviction counter. */
     std::size_t evictions_seen_ = 0;
+
+    /** Latest fleet co-schedule and the ids it covers (id order,
+     *  index-aligned with global_plan_.perTenant). Derived state:
+     *  rebuilt every planning tick, never snapshotted. */
+    optimizer::GlobalSchedule global_plan_;
+    std::vector<std::uint64_t> global_tenants_;
 
     /** Instance-local metrics (mirrors the controller pattern). */
     obs::Registry obs_;
@@ -291,6 +344,10 @@ class Service
         obs_.counter(obs::names::kServiceSnapshotsSaved);
     obs::Counter snapshots_restored_ =
         obs_.counter(obs::names::kServiceSnapshotsRestored);
+    obs::Counter global_replans_ =
+        obs_.counter(obs::names::kServiceGlobalReplans);
+    obs::Counter global_infeasible_ =
+        obs_.counter(obs::names::kServiceGlobalInfeasible);
     obs::Histogram tick_ms_ = obs_.histogram(
         obs::names::kServiceTickMs, obs::defaultTimeBucketsMs());
 };

@@ -79,6 +79,18 @@ TEST(LintDeterminism, CleanCodePasses)
     EXPECT_EQ(countCheck(ds, "determinism"), 0u);
 }
 
+TEST(LintDeterminism, GlobalPlannerIsInScope)
+{
+    // The global co-scheduler must stay deterministic (the fleet
+    // plan is asserted bitwise-reproducible across shard and worker
+    // counts), so src/optimizer/ — including global.cc — is in the
+    // determinism scope.
+    const auto ds = lintSource("src/optimizer/global.cc",
+                               fixture("bad_determinism.cc"),
+                               testContext());
+    EXPECT_GE(countCheck(ds, "determinism"), 3u);
+}
+
 TEST(LintDeterminism, OutsideTheCoreIsNotScoped)
 {
     // The same bad code under src/runtime/ is out of scope.

@@ -9,6 +9,7 @@
 
 #include "linalg/error.hh"
 #include "linalg/simplex.hh"
+#include "optimizer/global.hh"
 #include "optimizer/pareto.hh"
 #include "optimizer/schedule.hh"
 #include "stats/rng.hh"
@@ -535,4 +536,143 @@ TEST(Degenerate, RaceToIdleExactDeadlineIsFeasible)
     PerformanceConstraint some{1.0, 10.0};
     EXPECT_FALSE(
         optimizer::planRaceToIdle(zperf, zpower, 85.0, some).feasible);
+}
+
+// --------------------------------------- Guarded-executor boundaries
+
+TEST(GuardedBoundary, PlanPieceEndingAtDeadlineStaysFinite)
+{
+    // A plan whose last piece ends within the boundary-snap epsilon
+    // of the deadline: the snap used to carry `now` onto (or past)
+    // the deadline, divide the remaining work by a non-positive time
+    // and walk time backwards with negative energy. The run must stay
+    // finite, monotone and correctly classified.
+    Vector perf{1.0, 2.0};
+    Vector power{100.0, 150.0};
+    PerformanceConstraint c{30.0, 10.0}; // needs rate 3 > max 2
+    optimizer::Schedule plan;
+    plan.parts.push_back({1, 10.0 - 5e-10}); // ends 5e-10 before T
+    auto run =
+        optimizer::executeScheduleGuarded(plan, perf, power, 85.0, c);
+    EXPECT_TRUE(std::isfinite(run.energyJoules));
+    EXPECT_TRUE(std::isfinite(run.completionSeconds));
+    EXPECT_GT(run.energyJoules, 0.0);
+    EXPECT_FALSE(run.deadlineMet); // physically impossible demand
+    EXPECT_NEAR(run.completionSeconds, 15.0, 1e-5); // 30 work @ 2/s
+}
+
+TEST(GuardedBoundary, ManyTinyPiecesNearDeadlineStayMonotone)
+{
+    // Several sub-epsilon pieces crowded against the deadline stress
+    // the snap repeatedly.
+    Vector perf{1.0, 2.0};
+    Vector power{100.0, 150.0};
+    PerformanceConstraint c{25.0, 10.0};
+    optimizer::Schedule plan;
+    plan.parts.push_back({1, 10.0 - 3e-9});
+    plan.parts.push_back({0, 1e-9});
+    plan.parts.push_back({1, 1e-9});
+    plan.parts.push_back({0, 1e-9});
+    auto run =
+        optimizer::executeScheduleGuarded(plan, perf, power, 85.0, c);
+    EXPECT_TRUE(std::isfinite(run.energyJoules));
+    EXPECT_GE(run.completionSeconds, 10.0 - 1e-6);
+    EXPECT_FALSE(run.deadlineMet);
+}
+
+TEST(GuardedBoundary, ZeroRateFrontierWithWorkFailsLoudly)
+{
+    // No configuration makes progress but work remains: the old code
+    // divided by the frontier's zero rate and returned an infinite
+    // completion time. The contract (matching executeSchedule) is a
+    // loud FatalError.
+    Vector perf{0.0, 0.0};
+    Vector power{100.0, 150.0};
+    PerformanceConstraint c{1.0, 10.0};
+    optimizer::Schedule plan;
+    plan.parts.push_back({1, 10.0});
+    EXPECT_THROW(optimizer::executeScheduleGuarded(plan, perf, power,
+                                                   85.0, c),
+                 FatalError);
+}
+
+TEST(GuardedBoundary, ZeroRateFrontierWithZeroWorkIdlesOut)
+{
+    // Zero work needs no progress: the guarded run just idles to the
+    // deadline, whatever the (useless) plan says.
+    Vector perf{0.0, 0.0};
+    Vector power{100.0, 150.0};
+    PerformanceConstraint c{0.0, 10.0};
+    optimizer::Schedule plan;
+    plan.parts.push_back({kIdleConfig, 10.0});
+    auto run =
+        optimizer::executeScheduleGuarded(plan, perf, power, 85.0, c);
+    EXPECT_TRUE(run.deadlineMet);
+    EXPECT_NEAR(run.energyJoules, 85.0 * 10.0, 1e-9);
+}
+
+// ------------------------------------ Planner feasibility consistency
+
+// Satellite check: planMinimalEnergy, planRaceToIdle and the global
+// planner must agree on feasibility across degenerate constraints.
+// The grid stays outside the planners' epsilon disagreement band
+// (relative over-capacity between ~1e-12 and the LP's ~1e-7
+// feasibility tolerance), where the hull walk and the simplex are
+// allowed to disagree on exactly-critical demands.
+TEST(FeasibilityConsistency, DegenerateConstraintGrid)
+{
+    const Vector perf{1.0, 2.0, 4.0};
+    const Vector power{100.0, 130.0, 220.0};
+    const double idle = 85.0;
+    const double deadline = 10.0;
+    const double capacity = 4.0 * deadline; // fastest rate * T
+
+    const double works[] = {0.0,
+                            0.5 * capacity,
+                            capacity,
+                            capacity * (1.0 + 1e-13),
+                            capacity * (1.0 + 1e-6),
+                            capacity * 1.5};
+    for (const double work : works) {
+        PerformanceConstraint c{work, deadline};
+        const auto minimal =
+            optimizer::planMinimalEnergy(perf, power, idle, c);
+        const auto race =
+            optimizer::planRaceToIdle(perf, power, idle, c);
+        optimizer::TenantDemand demand{perf, power, c};
+        const auto fast =
+            optimizer::planGlobalSchedule({demand}, idle, {});
+        optimizer::GlobalPlanOptions force;
+        force.forceLp = true;
+        const auto lp =
+            optimizer::planGlobalSchedule({demand}, idle, force);
+
+        EXPECT_EQ(minimal.feasible, race.feasible) << "work " << work;
+        EXPECT_EQ(minimal.feasible, fast.feasible) << "work " << work;
+        EXPECT_EQ(minimal.feasible, lp.feasible) << "work " << work;
+    }
+
+    // Zero-rate configuration space: feasible iff there is no work,
+    // in all three planners.
+    const Vector zperf{0.0, 0.0};
+    const Vector zpower{90.0, 95.0};
+    for (const double work : {0.0, 1.0}) {
+        PerformanceConstraint c{work, deadline};
+        const bool want = work == 0.0;
+        EXPECT_EQ(optimizer::planMinimalEnergy(zperf, zpower, idle, c)
+                      .feasible,
+                  want);
+        EXPECT_EQ(
+            optimizer::planRaceToIdle(zperf, zpower, idle, c).feasible,
+            want);
+        optimizer::TenantDemand demand{zperf, zpower, c};
+        EXPECT_EQ(
+            optimizer::planGlobalSchedule({demand}, idle, {}).feasible,
+            want);
+        optimizer::GlobalPlanOptions force;
+        force.forceLp = true;
+        EXPECT_EQ(optimizer::planGlobalSchedule({demand}, idle, force)
+                      .feasible,
+                  want);
+    }
 }

@@ -13,6 +13,7 @@
 #include "linalg/cholesky.hh"
 #include "linalg/simplex.hh"
 #include "obs/obs.hh"
+#include "optimizer/global.hh"
 #include "optimizer/pareto.hh"
 #include "optimizer/schedule.hh"
 #include "runtime/controller.hh"
@@ -492,4 +493,104 @@ TEST_P(RefitScheduleEquivalence, BatchAndIncrementalAgree)
 }
 
 INSTANTIATE_TEST_SUITE_P(FaultSweep, RefitScheduleEquivalence,
+                         ::testing::Range<std::size_t>(0, 4));
+
+// ------------------------------------------- global co-scheduling
+
+/**
+ * Properties of the global multi-app co-scheduler, swept across the
+ * same fault scenarios as the refit equivalence: estimates corrupted
+ * by sensor faults (then sanitized the way the runtime does) must
+ * never let the shared plan undercut the single-app optimum, and a
+ * binding power cap must hold in every interval.
+ */
+class GlobalPlanProperty : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(GlobalPlanProperty, SharingNeverBeatsStandaloneAndCapsHold)
+{
+    const RefitScenario ns = refitSweep()[GetParam()];
+    SCOPED_TRACE(ns.name);
+    faults::FaultInjector perf_faults(ns.scenario);
+    faults::FaultInjector power_faults(ns.scenario);
+    stats::Rng rng(131 + GetParam());
+
+    const double idle = 85.0;
+    for (int trial = 0; trial < 25; ++trial) {
+        // Random fleet with faulted estimate vectors, sanitized the
+        // way the telemetry path does (non-finite / non-positive
+        // readings clamp to a dead config at idle power).
+        std::vector<optimizer::TenantDemand> demands;
+        const int napps = 1 + rng.uniformInt(0, 3);
+        for (int a = 0; a < napps; ++a) {
+            const std::size_t ncfg = 2 + static_cast<std::size_t>(
+                                             rng.uniformInt(0, 4));
+            Vector perf(ncfg), power(ncfg);
+            for (std::size_t c = 0; c < ncfg; ++c) {
+                const double r = perf_faults.corrupt(
+                    rng.uniform(0.5, 4.0));
+                const double p = power_faults.corrupt(
+                    rng.uniform(90.0, 220.0));
+                perf[c] = std::isfinite(r) && r > 0.0 ? r : 0.0;
+                power[c] =
+                    std::isfinite(p) && p > idle ? p : idle;
+            }
+            const double deadline = rng.uniform(2.0, 12.0);
+            const double fastest = perf.max();
+            const double work =
+                rng.uniform(0.0, 0.8 * fastest * deadline);
+            demands.push_back({perf, power, {work, deadline}});
+        }
+
+        // Slack cap: per-tenant energy never undercuts the hull walk
+        // (sharing one machine cannot beat having it exclusively).
+        optimizer::GlobalPlanOptions slack;
+        slack.forceLp = true;
+        const auto shared =
+            optimizer::planGlobalSchedule(demands, idle, slack);
+        if (shared.feasible) {
+            for (std::size_t a = 0; a < demands.size(); ++a) {
+                const auto solo = optimizer::planMinimalEnergy(
+                    demands[a].performance, demands[a].power, idle,
+                    demands[a].constraint);
+                EXPECT_GE(shared.perTenant[a].predictedEnergy,
+                          solo.predictedEnergy *
+                                  (1.0 - 1e-9) -
+                              1e-9)
+                    << "trial " << trial << " app " << a;
+            }
+            // Greedy is a feasible point of the same program.
+            const auto greedy =
+                optimizer::planPerAppGreedy(demands, idle, {});
+            if (greedy.feasible)
+                EXPECT_LE(shared.predictedEnergy,
+                          greedy.predictedEnergy * (1.0 + 1e-9) +
+                              1e-9)
+                    << "trial " << trial;
+        }
+
+        // Binding cap: whenever the capped program stays feasible,
+        // the average power holds in *every* interval.
+        optimizer::GlobalPlanOptions capped;
+        capped.powerCapWatts = rng.uniform(idle + 10.0, 230.0);
+        const auto under_cap =
+            optimizer::planGlobalSchedule(demands, idle, capped);
+        if (under_cap.feasible && !under_cap.intervals.empty()) {
+            double prev = 0.0;
+            for (const auto &iv : under_cap.intervals) {
+                const double len = iv.endSeconds - prev;
+                const double avg =
+                    (iv.activeEnergyJoules +
+                     idle * std::max(len - iv.busySeconds, 0.0)) /
+                    len;
+                EXPECT_LE(avg, capped.powerCapWatts * (1.0 + 1e-7))
+                    << "trial " << trial << " scenario " << ns.name;
+                prev = iv.endSeconds;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(FaultSweep, GlobalPlanProperty,
                          ::testing::Range<std::size_t>(0, 4));

@@ -15,6 +15,7 @@
  */
 
 #include <cstdint>
+#include <limits>
 #include <thread>
 #include <vector>
 
@@ -664,4 +665,193 @@ TEST(FitCache, OverwriteRefreshesWithoutEviction)
     const service::CachedFit *got = cache.lookup(a);
     ASSERT_NE(got, nullptr);
     EXPECT_TRUE(got->perfEstimate.reliable);
+}
+
+// ---------------------------------------------- global co-scheduling
+
+namespace
+{
+
+/** Two-tenant fleet options with global planning on. */
+ServiceOptions
+planningOptions(const World &w, std::size_t shards)
+{
+    ServiceOptions o = w.serviceOptions(shards);
+    o.globalPlanning = true;
+    o.planningHorizonSeconds = 2.0;
+    return o;
+}
+
+TenantConfig
+planningTenant(const World &w, std::size_t i)
+{
+    TenantConfig c = w.tenant(i);
+    // Modest demands so the shared machine stays feasible, with
+    // staggered deadlines so the planner has real intervals.
+    c.targetRate = (0.15 + 0.05 * static_cast<double>(i)) *
+                   w.gt.performance.max();
+    c.deadlineSeconds = 1.0 + 0.5 * static_cast<double>(i);
+    return c;
+}
+
+} // namespace
+
+TEST(ServiceGlobal, TickProducesAFleetPlanOnceEstimatesExist)
+{
+    World w;
+    estimators::LeoEstimator leo;
+    parallel::ThreadPool pool(0);
+    Service svc(w.space, leo, w.prior, pool, planningOptions(w, 4));
+
+    std::vector<std::uint64_t> ids;
+    for (std::size_t t = 0; t < 2; ++t)
+        ids.push_back(*svc.admit(planningTenant(w, t)));
+
+    // Before anyone has estimates there is nothing to plan.
+    service::TickReport early = svc.tick();
+    EXPECT_EQ(early.tenantsPlanned, 0u);
+    EXPECT_EQ(svc.globalPlan().perTenant.size(), 0u);
+    EXPECT_EQ(svc.tenantSchedule(ids[0]), nullptr);
+
+    auto rngs = measurementRngs(ids.size());
+    std::vector<std::vector<std::size_t>> schedules;
+    driveFleet(svc, w, w.monitor, w.meter, ids, rngs, 10, schedules);
+
+    service::TickReport report = svc.tick();
+    EXPECT_EQ(report.tenantsPlanned, 2u);
+    EXPECT_TRUE(report.globalFeasible);
+    EXPECT_GT(report.globalPredictedEnergy, 0.0);
+
+    const auto &plan = svc.globalPlan();
+    ASSERT_EQ(plan.perTenant.size(), 2u);
+    EXPECT_TRUE(plan.feasible);
+    for (const std::uint64_t id : ids) {
+        const optimizer::Schedule *slice = svc.tenantSchedule(id);
+        ASSERT_NE(slice, nullptr);
+        EXPECT_FALSE(slice->parts.empty());
+    }
+    EXPECT_EQ(svc.tenantSchedule(9999), nullptr);
+    EXPECT_GT(svc.metrics().snapshot().counterOr(
+                  obs::names::kServiceGlobalReplans, 0),
+              0u);
+
+    // Closing a tenant invalidates the stale fleet plan until the
+    // next tick rebuilds it without the departed tenant.
+    EXPECT_TRUE(svc.close(ids[1]));
+    EXPECT_EQ(svc.tenantSchedule(ids[0]), nullptr);
+    svc.tick();
+    EXPECT_NE(svc.tenantSchedule(ids[0]), nullptr);
+    EXPECT_EQ(svc.tenantSchedule(ids[1]), nullptr);
+    EXPECT_EQ(svc.globalPlan().perTenant.size(), 1u);
+}
+
+TEST(ServiceGlobal, FleetPlanInvariantUnderShardsAndThreads)
+{
+    World w;
+    estimators::LeoEstimator leo;
+
+    struct Run
+    {
+        double energy = 0.0;
+        bool feasible = false;
+        std::vector<optimizer::Schedule> slices;
+    };
+    auto runFleet = [&](std::size_t shards, std::size_t workers) {
+        parallel::ThreadPool pool(workers);
+        Service svc(w.space, leo, w.prior, pool,
+                    planningOptions(w, shards));
+        std::vector<std::uint64_t> ids;
+        for (std::size_t t = 0; t < 3; ++t)
+            ids.push_back(*svc.admit(planningTenant(w, t)));
+        auto rngs = measurementRngs(ids.size());
+        std::vector<std::vector<std::size_t>> schedules;
+        driveFleet(svc, w, w.monitor, w.meter, ids, rngs, 12,
+                   schedules);
+        Run r;
+        r.energy = svc.globalPlan().predictedEnergy;
+        r.feasible = svc.globalPlan().feasible;
+        for (const std::uint64_t id : ids)
+            r.slices.push_back(*svc.tenantSchedule(id));
+        return r;
+    };
+
+    const Run base = runFleet(1, 0);
+    for (const auto &[shards, workers] :
+         {std::pair<std::size_t, std::size_t>{2, 2},
+          std::pair<std::size_t, std::size_t>{7, 4}}) {
+        const Run other = runFleet(shards, workers);
+        // Bitwise: the plan is a pure function of the session table.
+        EXPECT_EQ(base.energy, other.energy)
+            << shards << " shards " << workers << " workers";
+        EXPECT_EQ(base.feasible, other.feasible);
+        ASSERT_EQ(base.slices.size(), other.slices.size());
+        for (std::size_t t = 0; t < base.slices.size(); ++t) {
+            ASSERT_EQ(base.slices[t].parts.size(),
+                      other.slices[t].parts.size());
+            for (std::size_t i = 0; i < base.slices[t].parts.size();
+                 ++i) {
+                EXPECT_EQ(base.slices[t].parts[i].configIndex,
+                          other.slices[t].parts[i].configIndex);
+                EXPECT_EQ(base.slices[t].parts[i].seconds,
+                          other.slices[t].parts[i].seconds);
+            }
+        }
+    }
+}
+
+TEST(ServiceGlobal, RestorePlusTickReproducesThePlan)
+{
+    World w;
+    estimators::LeoEstimator leo;
+    parallel::ThreadPool pool(0);
+    Service svc(w.space, leo, w.prior, pool, planningOptions(w, 4));
+
+    std::vector<std::uint64_t> ids;
+    for (std::size_t t = 0; t < 2; ++t)
+        ids.push_back(*svc.admit(planningTenant(w, t)));
+    auto rngs = measurementRngs(ids.size());
+    std::vector<std::vector<std::size_t>> schedules;
+    driveFleet(svc, w, w.monitor, w.meter, ids, rngs, 10, schedules);
+
+    linalg::ByteWriter blob;
+    svc.saveSnapshot(blob);
+
+    Service copy(w.space, leo, w.prior, pool, planningOptions(w, 4));
+    linalg::ByteReader r(blob.bytes());
+    ASSERT_TRUE(copy.restoreSnapshot(r));
+    // The fleet plan is derived state: absent after restore, rebuilt
+    // bitwise by the next tick.
+    EXPECT_EQ(copy.globalPlan().perTenant.size(), 0u);
+    svc.tick();
+    copy.tick();
+
+    EXPECT_EQ(copy.globalPlan().predictedEnergy,
+              svc.globalPlan().predictedEnergy);
+    EXPECT_EQ(copy.globalPlan().feasible, svc.globalPlan().feasible);
+    for (const std::uint64_t id : ids) {
+        const optimizer::Schedule *a = svc.tenantSchedule(id);
+        const optimizer::Schedule *b = copy.tenantSchedule(id);
+        ASSERT_NE(a, nullptr);
+        ASSERT_NE(b, nullptr);
+        ASSERT_EQ(a->parts.size(), b->parts.size());
+        for (std::size_t i = 0; i < a->parts.size(); ++i) {
+            EXPECT_EQ(a->parts[i].configIndex,
+                      b->parts[i].configIndex);
+            EXPECT_EQ(a->parts[i].seconds, b->parts[i].seconds);
+        }
+    }
+}
+
+TEST(ServiceGlobal, RejectsBadDeadlines)
+{
+    World w;
+    estimators::LeoEstimator leo;
+    parallel::ThreadPool pool(0);
+    Service svc(w.space, leo, w.prior, pool, planningOptions(w, 2));
+    TenantConfig bad = planningTenant(w, 0);
+    bad.deadlineSeconds = -1.0;
+    EXPECT_FALSE(svc.admit(bad).has_value());
+    bad.deadlineSeconds =
+        std::numeric_limits<double>::infinity();
+    EXPECT_FALSE(svc.admit(bad).has_value());
 }

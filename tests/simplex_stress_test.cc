@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "linalg/error.hh"
 #include "linalg/simplex.hh"
 #include "stats/rng.hh"
@@ -94,6 +96,134 @@ TEST(SimplexStress, RandomFeasibleInstancesSatisfyConstraints)
             EXPECT_GE(sol.x[i], -1e-9);
         // And the optimum is no worse than the feasible point.
         EXPECT_LE(sol.objective, dot(c, x0) + 1e-6);
+    }
+}
+
+// The redundant-row regressions below all failed before the solver
+// dropped rows whose artificial cannot leave the basis: a redundant
+// equality left its artificial basic at ~0, and the old "prohibitive
+// cost" trick multiplied the ~1e-16 elimination residues in that row
+// into garbage reduced costs, misreporting bounded feasible programs
+// as Unbounded.
+
+TEST(SimplexStress, NearDependentEqualitiesStayBounded)
+{
+    // r2 = 3 * r1 computed in floating point: dependent up to
+    // rounding. min x+2y+3z s.t. 0.1x+0.2y+0.3z = 0.7 has optimum 7
+    // (put everything on x: x = 7).
+    LinearProgram lp(3);
+    lp.setObjective(Vector{1.0, 2.0, 3.0});
+    const Vector r1{0.1, 0.2, 0.3};
+    const Vector r2{0.1 * 3.0, 0.2 * 3.0, 0.3 * 3.0};
+    const double b1 = 0.1 * 2.0 + 0.2 * 1.0 + 0.3 * 1.0;
+    lp.addEquality(r1, b1);
+    lp.addEquality(r2, b1 * 3.0);
+    lp.addInequality(Vector{1.0, 1.0, 1.0}, 10.0);
+    auto sol = lp.solve();
+    ASSERT_EQ(sol.status, LpStatus::Optimal);
+    EXPECT_NEAR(sol.objective, 7.0, 1e-8);
+}
+
+TEST(SimplexStress, ScaledDuplicateEqualityStaysBounded)
+{
+    // The duplicate is scaled by 1/3, whose product with the row
+    // entries does not round-trip exactly.
+    LinearProgram lp(2);
+    lp.setObjective(Vector{3.0, 5.0});
+    const double s = 1.0 / 3.0;
+    const double b1 = 0.7 * 1.0 + 1.3 * 2.0;
+    lp.addEquality(Vector{0.7, 1.3}, b1);
+    lp.addEquality(Vector{0.7 * s, 1.3 * s}, b1 * s);
+    auto sol = lp.solve();
+    ASSERT_EQ(sol.status, LpStatus::Optimal);
+    // Cheapest way to reach 0.7x + 1.3y = 3.3: all on y (cost/unit
+    // 5/1.3 < 3/0.7).
+    EXPECT_NEAR(sol.objective, 5.0 * (b1 / 1.3), 1e-8);
+}
+
+TEST(SimplexStress, ZeroRowZeroRhsIsRedundant)
+{
+    // A zero equality row with zero rhs (the global co-scheduler
+    // emits one for a tenant with zero work and no usable configs)
+    // constrains nothing.
+    LinearProgram lp(2);
+    lp.setObjective(Vector{1.0, 1.0});
+    lp.addEquality(Vector{0.0, 0.0}, 0.0);
+    lp.addEquality(Vector{1.0, 1.0}, 2.0);
+    auto sol = lp.solve();
+    ASSERT_EQ(sol.status, LpStatus::Optimal);
+    EXPECT_NEAR(sol.objective, 2.0, 1e-8);
+}
+
+TEST(SimplexStress, ZeroRowNonzeroRhsIsInfeasible)
+{
+    // 0 = 1 must report Infeasible, not Unbounded or a bogus optimum.
+    LinearProgram lp(2);
+    lp.setObjective(Vector{1.0, 1.0});
+    lp.addEquality(Vector{0.0, 0.0}, 1.0);
+    lp.addEquality(Vector{1.0, 1.0}, 2.0);
+    auto sol = lp.solve();
+    EXPECT_EQ(sol.status, LpStatus::Infeasible);
+}
+
+TEST(SimplexStress, AllRowsRedundantZeroRhs)
+{
+    // Every constraint is vacuous; with a nonnegative objective the
+    // optimum is x = 0.
+    LinearProgram lp(3);
+    lp.setObjective(Vector{1.0, 2.0, 0.0});
+    lp.addEquality(Vector{0.0, 0.0, 0.0}, 0.0);
+    lp.addEquality(Vector{0.0, 0.0, 0.0}, 0.0);
+    auto sol = lp.solve();
+    ASSERT_EQ(sol.status, LpStatus::Optimal);
+    EXPECT_NEAR(sol.objective, 0.0, 1e-12);
+    // And with a negative objective coefficient it is unbounded.
+    LinearProgram lp2(2);
+    lp2.setObjective(Vector{-1.0, 1.0});
+    lp2.addEquality(Vector{0.0, 0.0}, 0.0);
+    EXPECT_EQ(lp2.solve().status, LpStatus::Unbounded);
+}
+
+TEST(SimplexStress, RandomNearDependentFamiliesStayBounded)
+{
+    // Randomized version of the regression that exposed the bug:
+    // three pairwise-dependent equality rows (computed in floating
+    // point, so dependent only up to rounding) plus a box. Before the
+    // fix roughly 3 in 4 of these instances came back Unbounded.
+    stats::Rng rng(7);
+    for (int trial = 0; trial < 400; ++trial) {
+        const std::size_t n = 3 + static_cast<std::size_t>(
+                                      rng.uniformInt(0, 3));
+        Vector c(n), x0(n), r1(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            c[i] = rng.uniform(0.1, 3.0);
+            x0[i] = rng.uniform(0.1, 3.0);
+            r1[i] = rng.uniform(0.1, 3.0);
+        }
+        const double s = rng.uniform(0.1, 3.0);
+        Vector r2(n), r3(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            r2[i] = r1[i] * s;
+            r3[i] = r1[i] * 0.5 + r2[i];
+        }
+        LinearProgram lp(n);
+        lp.setObjective(c);
+        const double b1 = dot(r1, x0);
+        lp.addEquality(r1, b1);
+        lp.addEquality(r2, b1 * s);
+        lp.addEquality(r3, b1 * 0.5 + b1 * s);
+        const Vector ones(n, 1.0);
+        lp.addInequality(ones, dot(ones, x0) + 1.0);
+
+        auto sol = lp.solve();
+        ASSERT_EQ(sol.status, LpStatus::Optimal) << "trial " << trial;
+        ASSERT_TRUE(std::isfinite(sol.objective)) << "trial " << trial;
+        EXPECT_NEAR(dot(r1, sol.x), b1, 1e-6 * (1.0 + std::abs(b1)))
+            << "trial " << trial;
+        EXPECT_LE(sol.objective, dot(c, x0) + 1e-6)
+            << "trial " << trial;
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_GE(sol.x[i], -1e-9) << "trial " << trial;
     }
 }
 
