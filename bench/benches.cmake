@@ -29,6 +29,12 @@ target_link_libraries(tab02_fault_sweep PRIVATE leo_faults)
 # tools/bench_diff.py.
 leo_add_bench(tab03_global_cap)
 
+# Change-point adaptation vs the fixed drift window over
+# DSL-authored scenarios (repository addition, DESIGN.md "Scenarios
+# and change-point adaptation"); hand-emits google-benchmark JSON
+# (BENCH_scenario.json) for tools/bench_diff.py.
+leo_add_bench(tab04_changepoint)
+
 # Section 6.7 overhead microbenchmark (google-benchmark).
 leo_add_bench(overhead_leo)
 target_link_libraries(overhead_leo PRIVATE benchmark::benchmark)

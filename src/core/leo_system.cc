@@ -41,7 +41,7 @@ LeoSystem::withStandardSuite(LeoSystemOptions options)
 }
 
 telemetry::Observations
-LeoSystem::observe(const workloads::ApplicationModel &target,
+LeoSystem::observe(const workloads::ApplicationBehavior &target,
                    stats::Rng &rng) const
 {
     const telemetry::HeartbeatMonitor monitor;

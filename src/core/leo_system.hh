@@ -83,7 +83,7 @@ class LeoSystem
      * @param rng    Randomness source.
      */
     telemetry::Observations observe(
-        const workloads::ApplicationModel &target,
+        const workloads::ApplicationBehavior &target,
         stats::Rng &rng) const;
 
     /**

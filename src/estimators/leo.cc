@@ -582,6 +582,20 @@ lowRankPredictiveVariance(const LeoFit &fit, std::size_t c)
            fit.scale;
 }
 
+double
+LeoFit::predictiveVarianceAt(std::size_t c) const
+{
+    if (!predictionVariance.empty()) {
+        require(c < predictionVariance.size(),
+                "predictiveVarianceAt: index out of range");
+        return predictionVariance[c];
+    }
+    require(lowRank,
+            "predictiveVarianceAt: fit carries no variance (dense "
+            "fit without expanded predictionVariance)");
+    return lowRankPredictiveVariance(*this, c);
+}
+
 void
 setAllocationCounter(std::size_t (*counter)())
 {

@@ -183,6 +183,23 @@ struct LeoFit
      *  c of basisT (see lowRankPredictiveVariance). Empty on dense
      *  fits. */
     linalg::Matrix varCore;
+
+    /**
+     * Streaming predictive-variance query: the posterior predictive
+     * variance of one configuration, in raw units squared. Reads the
+     * expanded predictionVariance when present and otherwise
+     * evaluates the low-rank factors directly (no q x n expansion),
+     * so callers — schedule-time uncertainty displays, the
+     * controller's residual standardization — can query single
+     * configurations off an expandVariance = false fit at O(q^2)
+     * cost. Bitwise identical to predictionVariance[c] whichever
+     * path answers.
+     *
+     * @param c Configuration index.
+     * @throws leo::FatalError when c is out of range or the fit
+     *         carries no variance information at all.
+     */
+    double predictiveVarianceAt(std::size_t c) const;
 };
 
 /**

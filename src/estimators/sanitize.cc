@@ -69,8 +69,9 @@ sanitizeObservations(const std::vector<std::size_t> &idx,
         return out; // modified stays false; caller uses its buffers.
 
     out.modified = true;
-    // Per surviving index: sample count for the duplicate average.
-    std::vector<double> count;
+    // Per surviving index (first-occurrence order): every valid
+    // value observed for it, gathered before any arithmetic.
+    std::vector<std::vector<double>> gathered;
     out.indices.reserve(idx.size());
     for (std::size_t j = 0; j < idx.size(); ++j) {
         if (!sampleValid(idx[j], vals[j], space_size)) {
@@ -86,14 +87,43 @@ sanitizeObservations(const std::vector<std::size_t> &idx,
         }
         if (pos == out.indices.size()) {
             out.indices.push_back(idx[j]);
-            out.values.push_back(vals[j]);
-            count.push_back(1.0);
+            gathered.emplace_back(1, vals[j]);
         } else {
-            // Running mean keeps the merge single-pass.
-            count[pos] += 1.0;
-            out.values[pos] += (vals[j] - out.values[pos]) / count[pos];
+            gathered[pos].push_back(vals[j]);
             ++out.merged;
         }
+    }
+    // Merge duplicates order-independently: a running mean depends
+    // on arrival order (floating-point addition is not associative),
+    // which breaks the contract that permuted duplicate sets — which
+    // collide in Observations::contentHash and trace replays produce
+    // routinely — sanitize to bitwise-identical values. Summing in
+    // ascending value order is the deterministic tie-break, and a
+    // set of identical readings (repeated trace rows) reproduces the
+    // reading exactly.
+    out.values.reserve(out.indices.size());
+    for (auto &dup : gathered) {
+        bool all_equal = true;
+        for (const double v : dup)
+            all_equal = all_equal && v == dup.front();
+        if (all_equal) {
+            out.values.push_back(dup.front());
+            continue;
+        }
+        for (std::size_t i = 1; i < dup.size(); ++i) {
+            const double v = dup[i];
+            std::size_t k = i;
+            while (k > 0 && dup[k - 1] > v) {
+                dup[k] = dup[k - 1];
+                --k;
+            }
+            dup[k] = v;
+        }
+        double sum = 0.0;
+        for (const double v : dup)
+            sum += v;
+        out.values.push_back(sum /
+                             static_cast<double>(dup.size()));
     }
     SanitizeObs &so = sanitizeObs();
     so.rejected.add(out.rejected);

@@ -17,7 +17,13 @@
  *     zero is a dropout, not a measurement).
  *  3. Merge samples that repeat a configuration index by averaging
  *     their values (the maximum-likelihood combination of
- *     equal-noise readings), keeping first-occurrence order.
+ *     equal-noise readings), keeping first-occurrence order. The
+ *     average is computed order-independently — values are summed in
+ *     ascending order, and a set of bit-identical readings (trace
+ *     replays repeat rows verbatim) merges to exactly that reading —
+ *     so any permutation of the same duplicate set sanitizes to
+ *     bitwise-identical values, matching the permutation-invariant
+ *     Observations::contentHash the service's fit cache keys on.
  *
  * A clean observation set passes through untouched — `modified` is
  * false and the caller keeps using its own buffers — so sanitization

@@ -89,7 +89,7 @@ FaultyPowerMeter::FaultyPowerMeter(const telemetry::PowerMeter &inner,
 }
 
 double
-FaultyPowerMeter::read(const workloads::ApplicationModel &model,
+FaultyPowerMeter::read(const workloads::ApplicationBehavior &model,
                        const platform::ResourceAssignment &ra,
                        stats::Rng &rng) const
 {
@@ -105,7 +105,7 @@ FaultyHeartbeatMonitor::FaultyHeartbeatMonitor(
 
 double
 FaultyHeartbeatMonitor::measureRate(
-    const workloads::ApplicationModel &model,
+    const workloads::ApplicationBehavior &model,
     const platform::ResourceAssignment &ra, stats::Rng &rng) const
 {
     return injector_.corrupt(inner_.measureRate(model, ra, rng));

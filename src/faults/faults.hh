@@ -120,7 +120,7 @@ class FaultyPowerMeter : public telemetry::PowerMeter
     FaultyPowerMeter(const telemetry::PowerMeter &inner,
                      const FaultScenario &scenario);
 
-    double read(const workloads::ApplicationModel &model,
+    double read(const workloads::ApplicationBehavior &model,
                 const platform::ResourceAssignment &ra,
                 stats::Rng &rng) const override;
 
@@ -152,7 +152,7 @@ class FaultyHeartbeatMonitor : public telemetry::HeartbeatMonitor
     FaultyHeartbeatMonitor(const telemetry::HeartbeatMonitor &inner,
                            const FaultScenario &scenario);
 
-    double measureRate(const workloads::ApplicationModel &model,
+    double measureRate(const workloads::ApplicationBehavior &model,
                        const platform::ResourceAssignment &ra,
                        stats::Rng &rng) const override;
 

@@ -110,6 +110,17 @@ inline constexpr const char *kControllerWindowsFallback =
 inline constexpr const char *kControllerWindowSpan =
     "leo.controller.window";
 inline constexpr const char *kControllerFitSpan = "leo.controller.fit";
+inline constexpr const char *kControllerChangepointsDetected =
+    "leo.controller.changepoints.detected";
+inline constexpr const char *kControllerChangepointLatency =
+    "leo.controller.changepoint.latency.windows";
+
+// ---- scenario: trace replay and scenario runs ------------------- //
+inline constexpr const char *kScenarioRunsExecuted =
+    "leo.scenario.runs.executed";
+inline constexpr const char *kScenarioFramesSimulated =
+    "leo.scenario.frames.simulated";
+inline constexpr const char *kScenarioRunSpan = "leo.scenario.run";
 
 // ---- service: the multi-tenant serving core --------------------- //
 inline constexpr const char *kServiceTenantsAdmitted =

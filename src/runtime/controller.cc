@@ -32,6 +32,10 @@ EnergyController::EnergyController(const platform::ConfigSpace &space,
         // there is nothing to sample.
         state_ = State::Controlling;
     }
+    if (options_.changePointPolicy != ChangePointPolicy::Off) {
+        cp_perf_.configure(options_.changePoint);
+        cp_power_.configure(options_.changePoint);
+    }
 }
 
 std::size_t
@@ -143,13 +147,60 @@ EnergyController::recordMeasurement(const telemetry::Sample &s)
         history_[s.configIndex] = s.heartbeatRate;
     }
 
-    if (drift_count_ >= options_.driftWindow &&
-        estimator_ != nullptr) {
-        // Phase change: the old observations and the measurement
-        // history describe dead behaviour.
-        ++reestimations_;
-        beginSampling();
-        return;
+    if (options_.changePointPolicy == ChangePointPolicy::Off) {
+        if (drift_count_ >= options_.driftWindow &&
+            estimator_ != nullptr) {
+            // Phase change: the old observations and the measurement
+            // history describe dead behaviour.
+            ++reestimations_;
+            beginSampling();
+            return;
+        }
+    } else if (estimator_ != nullptr) {
+        // Change-point policy: score this window's standardized
+        // residuals against the current estimates instead of waiting
+        // out the fixed drift window.
+        std::size_t latency = 0;
+        bool fired = changePointFired(s, &latency);
+        if (!fired && options_.changePoint.starveWindows > 0) {
+            // Starvation escape (see ChangePointOptions): the map
+            // says the configuration that just ran meets the demand,
+            // the measurement says the demand is missed — the fit is
+            // wrong exactly where it is being trusted, even when the
+            // centered residual stream has been silenced by a
+            // uniformly optimistic fit. Genuinely infeasible demand
+            // does not qualify: there the map itself concedes the
+            // paced configuration falls short.
+            const bool starved =
+                have_avg_ &&
+                avg_rate_ < options_.targetRate * 0.98 &&
+                s.configIndex < perf_.size() &&
+                perf_[s.configIndex] >= options_.targetRate;
+            if (!starved)
+                starve_count_ = 0;
+            else if (++starve_count_ >=
+                     options_.changePoint.starveWindows) {
+                fired = true;
+                latency = starve_count_;
+            }
+        }
+        if (fired) {
+            changepoints_detected_.add(1);
+            changepoint_latency_.record(
+                static_cast<double>(latency));
+            ++reestimations_;
+            if (options_.changePointPolicy ==
+                ChangePointPolicy::ColdRefit) {
+                // The old posterior describes dead behavior: drop
+                // the warm fits so the next EM runs from the cold
+                // init (PriorReset keeps them as the anchor).
+                have_fits_ = false;
+                perf_fit_ = estimators::LeoFit{};
+                power_fit_ = estimators::LeoFit{};
+            }
+            beginSampling();
+            return;
+        }
     }
 
     // Gradient-ascent performance guard (Section 6.6): climb the
@@ -185,6 +236,66 @@ EnergyController::recordMeasurement(const telemetry::Sample &s)
     }
 }
 
+double
+EnergyController::predictiveSigma(const estimators::LeoFit &fit,
+                                  std::size_t config,
+                                  double predicted) const
+{
+    double variance = 0.0;
+    if (have_fits_)
+        variance = fit.predictiveVarianceAt(config);
+    double sigma = variance > 0.0 ? std::sqrt(variance) : 0.0;
+    // An underconfident fit (cold refit from a few probes) must not
+    // blind the detector by inflating sigma without bound.
+    const double cap = options_.changePoint.maxRelativeSigma;
+    if (cap > 0.0)
+        sigma = std::min(sigma, cap * std::abs(predicted));
+    const double floor = std::max(
+        options_.changePoint.minRelativeSigma * std::abs(predicted),
+        1e-9);
+    return std::max(sigma, floor);
+}
+
+bool
+EnergyController::changePointFired(const telemetry::Sample &s,
+                                   std::size_t *latency)
+{
+    // Residuals need a prediction to be residuals *of*; on fallback
+    // or race-to-idle estimates there is none worth scoring.
+    if (perf_.size() != space_.size() ||
+        power_.size() != space_.size())
+        return false;
+    bool fired = false;
+    std::size_t lat = 0;
+    try {
+        const double predicted_rate = perf_[s.configIndex];
+        const double predicted_power = power_[s.configIndex];
+        const double rate_sigma =
+            predictiveSigma(perf_fit_, s.configIndex,
+                            predicted_rate);
+        const double power_sigma =
+            predictiveSigma(power_fit_, s.configIndex,
+                            predicted_power);
+        if (cp_perf_.observe(
+                (s.heartbeatRate - predicted_rate) / rate_sigma)) {
+            fired = true;
+            lat = cp_perf_.lastDetectionLatency();
+        }
+        if (cp_power_.observe(
+                (s.powerWatts - predicted_power) / power_sigma)) {
+            fired = true;
+            lat = std::max(lat, cp_power_.lastDetectionLatency());
+        }
+    } catch (const std::exception &) {
+        // A fit without a usable variance is a scoring problem, not
+        // a phase change; keep controlling.
+        return false;
+    }
+    if (fired && latency != nullptr)
+        *latency = lat;
+    return fired;
+}
+
 void
 EnergyController::setEstimates(linalg::Vector performance,
                                linalg::Vector power)
@@ -210,10 +321,13 @@ EnergyController::beginSampling()
     probe_plan_.clear();
     probe_next_ = 0;
     drift_count_ = 0;
+    starve_count_ = 0;
     boost_ = 0;
     have_avg_ = false;
     fallback_remaining_ = 0;
     fit_pending_ = false;
+    cp_perf_.reset();
+    cp_power_.reset();
     state_ = State::Sampling;
 }
 
@@ -397,6 +511,11 @@ EnergyController::replan()
     boost_ = 0;
     have_avg_ = false;
     drift_count_ = 0;
+    starve_count_ = 0;
+    // New estimates mean a new predictive distribution: residual
+    // evidence accumulated against the old one is void.
+    cp_perf_.reset();
+    cp_power_.reset();
 }
 
 estimators::CovarianceRep
@@ -498,6 +617,16 @@ EnergyController::saveState(linalg::ByteWriter &w) const
     w.u64(fits_failed_.value());
     w.u64(samples_rejected_.value());
     w.u64(fallback_windows_.value());
+    // Appended only when the policy is on, so Off-policy blobs stay
+    // byte-identical to the historical format (and to pre-detector
+    // builds). A controller restores with the same options it saved
+    // with — the service already guarantees that.
+    if (options_.changePointPolicy != ChangePointPolicy::Off) {
+        cp_perf_.save(w);
+        cp_power_.save(w);
+        w.u64(changepoints_detected_.value());
+        w.u64(starve_count_);
+    }
 }
 
 bool
@@ -549,6 +678,17 @@ EnergyController::restoreState(linalg::ByteReader &r)
     const std::uint64_t fits_failed = r.u64();
     const std::uint64_t samples_rejected = r.u64();
     const std::uint64_t fallback_windows = r.u64();
+    bool cp_ok = true;
+    std::uint64_t changepoints = 0;
+    if (options_.changePointPolicy != ChangePointPolicy::Off) {
+        const bool cp_perf_ok = cp_perf_.restore(r);
+        const bool cp_power_ok = cp_power_.restore(r);
+        cp_ok = cp_perf_ok && cp_power_ok;
+        changepoints = r.u64();
+        starve_count_ = static_cast<std::size_t>(r.u64());
+    } else {
+        starve_count_ = 0;
+    }
 
     const bool sizes_ok =
         (perf_.empty() || perf_.size() == space_.size()) &&
@@ -585,11 +725,18 @@ EnergyController::restoreState(linalg::ByteReader &r)
         beginSampling();
         return false;
     }
+    // A detector that failed to restore is degradation, not blob
+    // corruption: it restarts empty and re-accumulates evidence.
+    if (!cp_ok) {
+        cp_perf_.reset();
+        cp_power_.reset();
+    }
     // Counters restore additively; a freshly constructed controller
     // has them at zero, so the resumed totals match the saved run.
     fits_failed_.add(fits_failed);
     samples_rejected_.add(samples_rejected);
     fallback_windows_.add(fallback_windows);
+    changepoints_detected_.add(changepoints);
     return true;
 }
 

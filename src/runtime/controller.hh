@@ -27,6 +27,7 @@
 #include "linalg/workspace.hh"
 #include "obs/obs.hh"
 #include "optimizer/pareto.hh"
+#include "runtime/changepoint.hh"
 #include "runtime/incremental.hh"
 #include "stats/rng.hh"
 #include "telemetry/measurement.hh"
@@ -80,6 +81,19 @@ struct ControllerOptions
      */
     estimators::CovarianceRep representation =
         estimators::CovarianceRep::Auto;
+    /**
+     * Phase-change reaction policy (runtime/changepoint.hh). Off
+     * keeps the legacy EWMA-history drift trigger and is bitwise
+     * identical to pre-detector behavior. ColdRefit / PriorReset
+     * replace that trigger with an online change-point detector
+     * scoring standardized residuals against the current fit's
+     * predictive distribution: detection re-samples immediately —
+     * discarding the warm fits (ColdRefit) or keeping them as the EM
+     * anchor (PriorReset) — instead of waiting out the fixed window.
+     */
+    ChangePointPolicy changePointPolicy = ChangePointPolicy::Off;
+    /** Detector tunables (used when changePointPolicy != Off). */
+    ChangePointOptions changePoint;
     /**
      * When true, a completed probe plan parks the controller in
      * fitPending() instead of fitting inline: an external owner (the
@@ -267,6 +281,13 @@ class EnergyController
         return static_cast<std::size_t>(fallback_windows_.value());
     }
 
+    /** @return Change-points detected (0 with the policy Off). */
+    std::size_t changePointsDetected() const
+    {
+        return static_cast<std::size_t>(
+            changepoints_detected_.value());
+    }
+
     /**
      * This controller's private metrics registry. The degradation
      * counters above live here (each controller counts its own
@@ -310,6 +331,17 @@ class EnergyController
     /** Select the frontier configuration pacing the demand. */
     std::size_t paceConfig();
 
+    /** Predictive sigma for one configuration's residual, floored at
+     *  changePoint.minRelativeSigma of the prediction. */
+    double predictiveSigma(const estimators::LeoFit &fit,
+                           std::size_t config,
+                           double predicted) const;
+
+    /** Feed the change-point detectors with this window's residuals;
+     *  true when either alarms (never throws). */
+    bool changePointFired(const telemetry::Sample &s,
+                          std::size_t *latency);
+
     const platform::ConfigSpace &space_;
     const estimators::Estimator *estimator_;
     const telemetry::ProfileStore &prior_;
@@ -341,6 +373,9 @@ class EnergyController
     double avg_rate_ = 0.0;    //!< EWMA of measured rate.
     bool have_avg_ = false;
     std::size_t drift_count_ = 0;
+    /** Consecutive starved windows (change-point policies only; see
+     *  ChangePointOptions::starveWindows). */
+    std::size_t starve_count_ = 0;
     std::size_t reestimations_ = 0;
     std::size_t pending_config_ = 0;
     /** Probe plan complete, external fit not yet applied (deferFits). */
@@ -354,6 +389,16 @@ class EnergyController
         obs_.counter(obs::names::kControllerSamplesRejected);
     obs::Counter fallback_windows_ =
         obs_.counter(obs::names::kControllerWindowsFallback);
+    obs::Counter changepoints_detected_ =
+        obs_.counter(obs::names::kControllerChangepointsDetected);
+    obs::Histogram changepoint_latency_ = obs_.histogram(
+        obs::names::kControllerChangepointLatency,
+        changePointLatencyBuckets());
+    /** Online change-point detectors over heartbeat / power
+     *  residuals (idle unless options_.changePointPolicy engages
+     *  them). */
+    ChangePointDetector cp_perf_;
+    ChangePointDetector cp_power_;
     /** Windows left before a fallback triggers fresh probes. */
     std::size_t fallback_remaining_ = 0;
 };

@@ -1,0 +1,484 @@
+#include "scenario/spec.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "linalg/error.hh"
+#include "workloads/jsonish.hh"
+
+namespace leo::scenario
+{
+
+namespace
+{
+
+/** Strip '#' comments and surrounding whitespace (CRLF tolerant). */
+std::string
+stripLine(const std::string &raw)
+{
+    std::string line = raw;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos)
+        line.erase(hash);
+    const auto isSpace = [](char c) {
+        return c == ' ' || c == '\t' || c == '\r';
+    };
+    std::size_t b = 0, e = line.size();
+    while (b < e && isSpace(line[b]))
+        ++b;
+    while (e > b && isSpace(line[e - 1]))
+        --e;
+    return line.substr(b, e - b);
+}
+
+/** Split on runs of spaces/tabs. */
+std::vector<std::string>
+tokens(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (const char c : line) {
+        if (c == ' ' || c == '\t') {
+            if (!cur.empty())
+                out.push_back(std::exchange(cur, {}));
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+double
+parseNum(const std::string &tok, const std::string &what)
+{
+    char *end = nullptr;
+    const double x = std::strtod(tok.c_str(), &end);
+    require(!tok.empty() && end != nullptr && *end == '\0' &&
+                std::isfinite(x),
+            "scenario: " + what + " '" + tok +
+                "' is not a finite number");
+    return x;
+}
+
+std::size_t
+parseCount(const std::string &tok, const std::string &what)
+{
+    const double x = parseNum(tok, what);
+    require(x >= 0.0 && x == std::floor(x),
+            "scenario: " + what + " '" + tok +
+                "' must be a non-negative integer");
+    return static_cast<std::size_t>(x);
+}
+
+/** Split "key=value"; returns false when there is no '='. */
+bool
+splitKv(const std::string &tok, std::string *key, std::string *val)
+{
+    const std::size_t eq = tok.find('=');
+    if (eq == std::string::npos)
+        return false;
+    *key = tok.substr(0, eq);
+    *val = tok.substr(eq + 1);
+    return true;
+}
+
+WorkloadKind
+parseWorkload(const std::string &v)
+{
+    if (v == "analytic")
+        return WorkloadKind::Analytic;
+    if (v == "phased")
+        return WorkloadKind::Phased;
+    if (v == "trace")
+        return WorkloadKind::Trace;
+    fatal("scenario: unknown workload '" + v +
+          "' (analytic | phased | trace)");
+}
+
+runtime::ChangePointPolicy
+parsePolicy(const std::string &v)
+{
+    if (v == "off")
+        return runtime::ChangePointPolicy::Off;
+    if (v == "coldrefit")
+        return runtime::ChangePointPolicy::ColdRefit;
+    if (v == "priorreset")
+        return runtime::ChangePointPolicy::PriorReset;
+    fatal("scenario: unknown changepoint policy '" + v +
+          "' (off | coldrefit | priorreset)");
+}
+
+runtime::ChangePointMethod
+parseMethod(const std::string &v)
+{
+    if (v == "cusum")
+        return runtime::ChangePointMethod::Cusum;
+    if (v == "bayesian")
+        return runtime::ChangePointMethod::Bayesian;
+    fatal("scenario: unknown changepoint method '" + v +
+          "' (cusum | bayesian)");
+}
+
+void
+setFaultField(faults::FaultScenario &f, const std::string &key,
+              const std::string &val)
+{
+    if (key == "nan")
+        f.nanProb = parseNum(val, "fault nan");
+    else if (key == "inf")
+        f.infProb = parseNum(val, "fault inf");
+    else if (key == "dropout")
+        f.dropoutProb = parseNum(val, "fault dropout");
+    else if (key == "outlier")
+        f.outlierProb = parseNum(val, "fault outlier");
+    else if (key == "outlier_scale")
+        f.outlierScale = parseNum(val, "fault outlier_scale");
+    else if (key == "stale")
+        f.staleProb = parseNum(val, "fault stale");
+    else if (key == "seed")
+        f.seed = static_cast<std::uint64_t>(
+            parseCount(val, "fault seed"));
+    else
+        fatal("scenario: unknown fault field '" + key + "'");
+}
+
+/** Round-trip-exact double rendering. */
+std::string
+fmtNum(double x)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", x);
+    return buf;
+}
+
+Spec
+fromJsonDoc(const std::string &text)
+{
+    namespace js = workloads::jsonish;
+    const js::Value doc = js::parse(text);
+    require(doc.isObject(), "scenario: JSON root must be an object");
+    Spec spec;
+    for (const auto &[key, v] : doc.members()) {
+        if (key == "name") {
+            spec.name = v.asString();
+        } else if (key == "workload") {
+            spec.workload = parseWorkload(v.asString());
+        } else if (key == "app") {
+            spec.app = v.asString();
+        } else if (key == "target") {
+            spec.targetRate = v.asNumber();
+        } else if (key == "frames") {
+            spec.frames =
+                static_cast<std::size_t>(v.asNumber());
+        } else if (key == "seed") {
+            spec.seed = static_cast<std::uint64_t>(v.asNumber());
+        } else if (key == "changepoint") {
+            spec.changePointPolicy = parsePolicy(v.asString());
+        } else if (key == "changepoint_method") {
+            spec.changePointMethod = parseMethod(v.asString());
+        } else if (key == "trace_file") {
+            spec.traceFile = v.asString();
+        } else if (key == "trace_inline") {
+            spec.traceText = v.asString();
+        } else if (key == "phases") {
+            for (const auto &pv : v.items()) {
+                PhaseSpec ph;
+                if (pv.has("app"))
+                    ph.app = pv.at("app").asString();
+                if (pv.has("scale"))
+                    ph.scale = pv.at("scale").asNumber();
+                require(pv.has("frames"),
+                        "scenario: phase needs 'frames'");
+                ph.frames = static_cast<std::size_t>(
+                    pv.at("frames").asNumber());
+                spec.phases.push_back(std::move(ph));
+            }
+        } else if (key == "fault") {
+            for (const auto &[fk, fv] : v.members())
+                setFaultField(spec.faults, fk,
+                              fmtNum(fv.asNumber()));
+        } else if (key == "tenants") {
+            require(v.isObject(),
+                    "scenario: 'tenants' must be an object");
+            if (v.has("count"))
+                spec.arrivals.tenants = static_cast<std::size_t>(
+                    v.at("count").asNumber());
+            if (v.has("spacing"))
+                spec.arrivals.spacingWindows =
+                    static_cast<std::size_t>(
+                        v.at("spacing").asNumber());
+            if (v.has("rate_spread"))
+                spec.arrivals.rateSpread =
+                    v.at("rate_spread").asNumber();
+        } else {
+            fatal("scenario: unknown JSON key '" + key + "'");
+        }
+    }
+    return spec;
+}
+
+Spec
+fromTextDoc(const std::string &text)
+{
+    Spec spec;
+    std::stringstream ss(text);
+    std::string raw;
+    std::size_t lineno = 0;
+    while (std::getline(ss, raw)) {
+        ++lineno;
+        const std::string line = stripLine(raw);
+        if (line.empty())
+            continue;
+        const auto toks = tokens(line);
+        const std::string &dir = toks[0];
+        const auto wantArg = [&](const char *what) -> const std::string & {
+            require(toks.size() >= 2,
+                    "scenario: line " + std::to_string(lineno) +
+                        ": '" + dir + "' needs " + what);
+            return toks[1];
+        };
+        if (dir == "phase") {
+            PhaseSpec ph;
+            ph.app = wantArg("an application name");
+            bool have_frames = false;
+            for (std::size_t i = 2; i < toks.size(); ++i) {
+                std::string k, v;
+                require(splitKv(toks[i], &k, &v),
+                        "scenario: line " + std::to_string(lineno) +
+                            ": phase options are key=value");
+                if (k == "frames") {
+                    ph.frames = parseCount(v, "phase frames");
+                    have_frames = true;
+                } else if (k == "scale") {
+                    ph.scale = parseNum(v, "phase scale");
+                } else {
+                    fatal("scenario: line " +
+                          std::to_string(lineno) +
+                          ": unknown phase option '" + k + "'");
+                }
+            }
+            require(have_frames && ph.frames > 0,
+                    "scenario: line " + std::to_string(lineno) +
+                        ": phase needs frames=<n> > 0");
+            spec.phases.push_back(std::move(ph));
+        } else if (dir == "fault") {
+            for (std::size_t i = 1; i < toks.size(); ++i) {
+                std::string k, v;
+                require(splitKv(toks[i], &k, &v),
+                        "scenario: line " + std::to_string(lineno) +
+                            ": fault options are key=value");
+                setFaultField(spec.faults, k, v);
+            }
+        } else if (dir == "tenants") {
+            spec.arrivals.tenants =
+                parseCount(wantArg("a tenant count"), "tenants");
+            for (std::size_t i = 2; i < toks.size(); ++i) {
+                std::string k, v;
+                require(splitKv(toks[i], &k, &v),
+                        "scenario: line " + std::to_string(lineno) +
+                            ": tenants options are key=value");
+                if (k == "spacing")
+                    spec.arrivals.spacingWindows =
+                        parseCount(v, "tenants spacing");
+                else if (k == "rate_spread")
+                    spec.arrivals.rateSpread =
+                        parseNum(v, "tenants rate_spread");
+                else
+                    fatal("scenario: line " +
+                          std::to_string(lineno) +
+                          ": unknown tenants option '" + k + "'");
+            }
+        } else if (dir == "trace_inline") {
+            const std::string &arg = wantArg("a <<DELIM marker");
+            require(arg.size() > 2 && arg[0] == '<' && arg[1] == '<',
+                    "scenario: line " + std::to_string(lineno) +
+                        ": trace_inline needs <<DELIM");
+            const std::string delim = arg.substr(2);
+            std::string body;
+            bool closed = false;
+            while (std::getline(ss, raw)) {
+                ++lineno;
+                // Only CRLF-strip here: the body is raw trace text.
+                if (!raw.empty() && raw.back() == '\r')
+                    raw.pop_back();
+                if (stripLine(raw) == delim) {
+                    closed = true;
+                    break;
+                }
+                body += raw;
+                body += '\n';
+            }
+            require(closed, "scenario: unterminated trace_inline "
+                            "(missing '" +
+                                delim + "')");
+            spec.traceText = std::move(body);
+        } else {
+            setField(spec, dir, wantArg("a value"));
+        }
+    }
+    return spec;
+}
+
+} // namespace
+
+void
+setField(Spec &spec, const std::string &key,
+         const std::string &value)
+{
+    if (key == "name") {
+        spec.name = value;
+    } else if (key == "workload") {
+        spec.workload = parseWorkload(value);
+    } else if (key == "app") {
+        spec.app = value;
+    } else if (key == "target") {
+        spec.targetRate = parseNum(value, "target");
+    } else if (key == "frames") {
+        spec.frames = parseCount(value, "frames");
+    } else if (key == "seed") {
+        spec.seed =
+            static_cast<std::uint64_t>(parseCount(value, "seed"));
+    } else if (key == "changepoint") {
+        spec.changePointPolicy = parsePolicy(value);
+    } else if (key == "changepoint_method") {
+        spec.changePointMethod = parseMethod(value);
+    } else if (key == "trace_file") {
+        spec.traceFile = value;
+    } else if (key == "tenants") {
+        spec.arrivals.tenants = parseCount(value, "tenants");
+    } else if (key == "phase_scale") {
+        const double s = parseNum(value, "phase_scale");
+        for (PhaseSpec &ph : spec.phases)
+            ph.scale *= s;
+    } else if (key.size() > 6 && key.compare(0, 6, "fault.") == 0) {
+        setFaultField(spec.faults, key.substr(6), value);
+    } else {
+        fatal("scenario: unknown directive '" + key + "'");
+    }
+}
+
+Spec
+Spec::fromString(const std::string &text)
+{
+    for (const char c : text) {
+        if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+            continue;
+        if (c == '{')
+            return fromJsonDoc(text);
+        break;
+    }
+    return fromTextDoc(text);
+}
+
+Spec
+Spec::fromFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    require(in.good(), "scenario: cannot read '" + path + "'");
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return fromString(buf.str());
+}
+
+std::string
+Spec::toString() const
+{
+    std::string out;
+    out += "name " + name + "\n";
+    out += "workload ";
+    out += workload == WorkloadKind::Analytic ? "analytic"
+           : workload == WorkloadKind::Phased ? "phased"
+                                              : "trace";
+    out += "\n";
+    out += "app " + app + "\n";
+    out += "target " + fmtNum(targetRate) + "\n";
+    out += "frames " + std::to_string(frames) + "\n";
+    out += "seed " + std::to_string(seed) + "\n";
+    out += "changepoint ";
+    out += changePointPolicy == runtime::ChangePointPolicy::Off
+               ? "off"
+           : changePointPolicy ==
+                   runtime::ChangePointPolicy::ColdRefit
+               ? "coldrefit"
+               : "priorreset";
+    out += "\n";
+    if (changePointMethod != runtime::ChangePointMethod::Cusum)
+        out += "changepoint_method bayesian\n";
+    if (faults.enabled() ||
+        faults.seed != faults::FaultScenario{}.seed) {
+        out += "fault";
+        if (faults.nanProb > 0.0)
+            out += " nan=" + fmtNum(faults.nanProb);
+        if (faults.infProb > 0.0)
+            out += " inf=" + fmtNum(faults.infProb);
+        if (faults.dropoutProb > 0.0)
+            out += " dropout=" + fmtNum(faults.dropoutProb);
+        if (faults.outlierProb > 0.0) {
+            out += " outlier=" + fmtNum(faults.outlierProb);
+            out += " outlier_scale=" + fmtNum(faults.outlierScale);
+        }
+        if (faults.staleProb > 0.0)
+            out += " stale=" + fmtNum(faults.staleProb);
+        if (faults.seed != faults::FaultScenario{}.seed)
+            out += " seed=" + std::to_string(faults.seed);
+        out += "\n";
+    }
+    for (const PhaseSpec &ph : phases) {
+        out += "phase " + ph.app +
+               " frames=" + std::to_string(ph.frames) +
+               " scale=" + fmtNum(ph.scale) + "\n";
+    }
+    if (!traceFile.empty())
+        out += "trace_file " + traceFile + "\n";
+    if (!traceText.empty()) {
+        out += "trace_inline <<END\n";
+        out += traceText;
+        if (traceText.back() != '\n')
+            out += '\n';
+        out += "END\n";
+    }
+    if (arrivals.tenants != 1 || arrivals.spacingWindows != 0 ||
+        arrivals.rateSpread != 0.0) {
+        out += "tenants " + std::to_string(arrivals.tenants);
+        if (arrivals.spacingWindows != 0)
+            out += " spacing=" +
+                   std::to_string(arrivals.spacingWindows);
+        if (arrivals.rateSpread != 0.0)
+            out +=
+                " rate_spread=" + fmtNum(arrivals.rateSpread);
+        out += "\n";
+    }
+    return out;
+}
+
+std::vector<Spec>
+expandGrid(const Spec &base, const std::vector<GridAxis> &axes)
+{
+    std::vector<Spec> cells{base};
+    for (const GridAxis &axis : axes) {
+        require(!axis.values.empty(),
+                "scenario: grid axis '" + axis.key +
+                    "' has no values");
+        std::vector<Spec> next;
+        next.reserve(cells.size() * axis.values.size());
+        for (const Spec &cell : cells) {
+            for (const std::string &v : axis.values) {
+                Spec expanded = cell;
+                setField(expanded, axis.key, v);
+                expanded.name =
+                    cell.name + "/" + axis.key + "=" + v;
+                next.push_back(std::move(expanded));
+            }
+        }
+        cells = std::move(next);
+    }
+    return cells;
+}
+
+} // namespace leo::scenario

@@ -21,7 +21,7 @@ WattsUpMeter::WattsUpMeter(double relative_noise, double quantum)
 }
 
 double
-WattsUpMeter::read(const workloads::ApplicationModel &model,
+WattsUpMeter::read(const workloads::ApplicationBehavior &model,
                    const platform::ResourceAssignment &ra,
                    stats::Rng &rng) const
 {
@@ -38,7 +38,7 @@ RaplMeter::RaplMeter(double noise_watts) : noise_watts_(noise_watts)
 }
 
 double
-RaplMeter::read(const workloads::ApplicationModel &model,
+RaplMeter::read(const workloads::ApplicationBehavior &model,
                 const platform::ResourceAssignment &ra,
                 stats::Rng &rng) const
 {
@@ -53,7 +53,7 @@ HeartbeatMonitor::HeartbeatMonitor(double relative_noise)
 }
 
 double
-HeartbeatMonitor::measureRate(const workloads::ApplicationModel &model,
+HeartbeatMonitor::measureRate(const workloads::ApplicationBehavior &model,
                               const platform::ResourceAssignment &ra,
                               stats::Rng &rng) const
 {

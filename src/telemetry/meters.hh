@@ -38,7 +38,7 @@ class PowerMeter
      * @param rng   Noise source.
      * @return Measured Watts.
      */
-    virtual double read(const workloads::ApplicationModel &model,
+    virtual double read(const workloads::ApplicationBehavior &model,
                         const platform::ResourceAssignment &ra,
                         stats::Rng &rng) const = 0;
 
@@ -60,7 +60,7 @@ class WattsUpMeter : public PowerMeter
     explicit WattsUpMeter(double relative_noise = 0.01,
                           double quantum = 0.1);
 
-    double read(const workloads::ApplicationModel &model,
+    double read(const workloads::ApplicationBehavior &model,
                 const platform::ResourceAssignment &ra,
                 stats::Rng &rng) const override;
 
@@ -81,7 +81,7 @@ class RaplMeter : public PowerMeter
     /** @param noise_watts 1-sigma absolute error of a reading. */
     explicit RaplMeter(double noise_watts = 0.4);
 
-    double read(const workloads::ApplicationModel &model,
+    double read(const workloads::ApplicationBehavior &model,
                 const platform::ResourceAssignment &ra,
                 stats::Rng &rng) const override;
 
@@ -115,7 +115,7 @@ class HeartbeatMonitor
      * @param rng   Noise source.
      * @return Measured heartbeats/s.
      */
-    virtual double measureRate(const workloads::ApplicationModel &model,
+    virtual double measureRate(const workloads::ApplicationBehavior &model,
                                const platform::ResourceAssignment &ra,
                                stats::Rng &rng) const;
 

@@ -79,7 +79,7 @@ Profiler::Profiler(const HeartbeatMonitor &monitor, const PowerMeter &meter)
 }
 
 Observations
-Profiler::measureAt(const workloads::ApplicationModel &model,
+Profiler::measureAt(const workloads::ApplicationBehavior &model,
                     const platform::ConfigSpace &space,
                     const std::vector<std::size_t> &indices,
                     stats::Rng &rng) const
@@ -104,7 +104,7 @@ Profiler::measureAt(const workloads::ApplicationModel &model,
 }
 
 Observations
-Profiler::sample(const workloads::ApplicationModel &model,
+Profiler::sample(const workloads::ApplicationBehavior &model,
                  const platform::ConfigSpace &space,
                  const SamplingPolicy &policy, std::size_t budget,
                  stats::Rng &rng) const

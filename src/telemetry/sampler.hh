@@ -85,7 +85,7 @@ class Profiler
      * @param indices Which configurations to visit.
      * @param rng     Noise source.
      */
-    Observations measureAt(const workloads::ApplicationModel &model,
+    Observations measureAt(const workloads::ApplicationBehavior &model,
                            const platform::ConfigSpace &space,
                            const std::vector<std::size_t> &indices,
                            stats::Rng &rng) const;
@@ -99,7 +99,7 @@ class Profiler
      * @param budget Number of observations.
      * @param rng    Randomness source (selection and noise).
      */
-    Observations sample(const workloads::ApplicationModel &model,
+    Observations sample(const workloads::ApplicationBehavior &model,
                         const platform::ConfigSpace &space,
                         const SamplingPolicy &policy, std::size_t budget,
                         stats::Rng &rng) const;

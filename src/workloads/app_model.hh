@@ -91,9 +91,40 @@ struct ApplicationProfile
 };
 
 /**
+ * Abstract application behavior: anything that maps a resource
+ * assignment to a true heartbeat rate and power draw. The analytic
+ * ApplicationModel below and the trace-replay backend
+ * (workloads/trace.hh) both implement it, so every estimator,
+ * sampler, bench and the service can consume either interchangeably.
+ */
+class ApplicationBehavior
+{
+  public:
+    virtual ~ApplicationBehavior() = default;
+
+    /** @return The application's name. */
+    virtual const std::string &name() const = 0;
+
+    /** True heartbeat rate (noise free) in the configuration. */
+    virtual double
+    heartbeatRate(const platform::ResourceAssignment &ra) const = 0;
+
+    /** True wall power in the configuration, incl. idle baseline. */
+    virtual double
+    powerWatts(const platform::ResourceAssignment &ra) const = 0;
+
+    /** True chip ("RAPL") power: sockets only, no platform share. */
+    virtual double
+    chipPowerWatts(const platform::ResourceAssignment &ra) const = 0;
+
+    /** Wall power of the idle system. */
+    virtual double idlePowerWatts() const = 0;
+};
+
+/**
  * Evaluates an ApplicationProfile on a Machine.
  */
-class ApplicationModel
+class ApplicationModel : public ApplicationBehavior
 {
   public:
     /**
@@ -108,7 +139,7 @@ class ApplicationModel
     const ApplicationProfile &profile() const { return profile_; }
 
     /** @return The application's name. */
-    const std::string &name() const { return profile_.name; }
+    const std::string &name() const override { return profile_.name; }
 
     /**
      * True heartbeat rate in the given configuration.
@@ -116,7 +147,8 @@ class ApplicationModel
      * @param ra Resources granted.
      * @return Heartbeats per second (noise free).
      */
-    double heartbeatRate(const platform::ResourceAssignment &ra) const;
+    double heartbeatRate(
+        const platform::ResourceAssignment &ra) const override;
 
     /**
      * True wall ("WattsUp") power in the given configuration.
@@ -124,16 +156,18 @@ class ApplicationModel
      * @param ra Resources granted.
      * @return Watts, including the idle baseline (noise free).
      */
-    double powerWatts(const platform::ResourceAssignment &ra) const;
+    double
+    powerWatts(const platform::ResourceAssignment &ra) const override;
 
     /**
      * True chip ("RAPL") power: both sockets, excluding platform
      * overheads (fans, disks, DRAM, PSU loss).
      */
-    double chipPowerWatts(const platform::ResourceAssignment &ra) const;
+    double chipPowerWatts(
+        const platform::ResourceAssignment &ra) const override;
 
     /** Wall power of the idle system. */
-    double idlePowerWatts() const;
+    double idlePowerWatts() const override;
 
   private:
     /** Shared performance computation. */

@@ -9,7 +9,7 @@ namespace leo::workloads
 {
 
 GroundTruth
-computeGroundTruth(const ApplicationModel &model,
+computeGroundTruth(const ApplicationBehavior &model,
                    const platform::ConfigSpace &space)
 {
     GroundTruth gt;

@@ -34,7 +34,7 @@ struct GroundTruth
  * @param space The configuration space.
  * @return Performance and power vectors of length space.size().
  */
-GroundTruth computeGroundTruth(const ApplicationModel &model,
+GroundTruth computeGroundTruth(const ApplicationBehavior &model,
                                const platform::ConfigSpace &space);
 
 } // namespace leo::workloads

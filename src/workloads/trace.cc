@@ -1,0 +1,473 @@
+#include "workloads/trace.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "linalg/error.hh"
+#include "workloads/jsonish.hh"
+
+namespace leo::workloads
+{
+
+namespace
+{
+
+/** True when the document looks like JSON rather than CSV. */
+bool
+looksLikeJson(const std::string &text)
+{
+    for (const char c : text) {
+        if (c == ' ' || c == '\t' || c == '\n' || c == '\r')
+            continue;
+        return c == '{' || c == '[';
+    }
+    return false;
+}
+
+/** Strip an inline '#' comment and surrounding whitespace. */
+std::string
+stripLine(const std::string &raw)
+{
+    std::string line = raw;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos)
+        line.erase(hash);
+    const auto isSpace = [](char c) {
+        return c == ' ' || c == '\t' || c == '\r';
+    };
+    std::size_t b = 0, e = line.size();
+    while (b < e && isSpace(line[b]))
+        ++b;
+    while (e > b && isSpace(line[e - 1]))
+        --e;
+    return line.substr(b, e - b);
+}
+
+/** Split a CSV line on commas, trimming each field. */
+std::vector<std::string>
+splitFields(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::string cur;
+    std::stringstream ss(line);
+    while (std::getline(ss, cur, ','))
+        fields.push_back(stripLine(cur));
+    if (!line.empty() && line.back() == ',')
+        fields.push_back("");
+    return fields;
+}
+
+/** Parse one strictly-finite double cell. */
+double
+parseCell(const std::string &tok, std::size_t lineno,
+          const char *what)
+{
+    char *end = nullptr;
+    const double x = std::strtod(tok.c_str(), &end);
+    require(!tok.empty() && end != nullptr && *end == '\0',
+            "trace: line " + std::to_string(lineno) + ": " + what +
+                " '" + tok + "' is not a number");
+    require(std::isfinite(x), "trace: line " +
+                                  std::to_string(lineno) + ": " +
+                                  what + " is not finite");
+    return x;
+}
+
+/** Append one validated (index, perf, power) row to a segment. */
+void
+pushRow(TraceSegment &seg, std::size_t lineno, double idx,
+        double perf, double power)
+{
+    require(idx >= 0.0 && idx == std::floor(idx),
+            "trace: line " + std::to_string(lineno) +
+                ": config index must be a non-negative integer");
+    require(perf > 0.0, "trace: line " + std::to_string(lineno) +
+                            ": performance must be positive");
+    require(power > 0.0, "trace: line " + std::to_string(lineno) +
+                             ": power must be positive");
+    const auto c = static_cast<std::size_t>(idx);
+    for (const std::size_t seen : seg.indices)
+        require(seen != c,
+                "trace: line " + std::to_string(lineno) +
+                    ": duplicate config index " + std::to_string(c) +
+                    " in segment");
+    seg.indices.push_back(c);
+    seg.performance.push_back(perf);
+    seg.power.push_back(power);
+}
+
+/** Sort a segment's rows by config index (parallel arrays). */
+void
+sortSegment(TraceSegment &seg)
+{
+    std::vector<std::size_t> order(seg.indices.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    // Insertion sort on index: segments are small and already mostly
+    // ordered, and stability is irrelevant (indices are unique).
+    for (std::size_t i = 1; i < order.size(); ++i) {
+        const std::size_t o = order[i];
+        std::size_t j = i;
+        while (j > 0 &&
+               seg.indices[order[j - 1]] > seg.indices[o]) {
+            order[j] = order[j - 1];
+            --j;
+        }
+        order[j] = o;
+    }
+    TraceSegment sorted;
+    sorted.workUnits = seg.workUnits;
+    for (const std::size_t o : order) {
+        sorted.indices.push_back(seg.indices[o]);
+        sorted.performance.push_back(seg.performance[o]);
+        sorted.power.push_back(seg.power[o]);
+    }
+    seg = std::move(sorted);
+}
+
+TraceTable
+fromCsv(const std::string &text)
+{
+    TraceTable table;
+    TraceSegment cur;
+    bool open = false; // A segment is being accumulated.
+    std::size_t lineno = 0;
+    std::stringstream ss(text);
+    std::string raw;
+
+    const auto closeSegment = [&]() {
+        require(!cur.indices.empty(),
+                "trace: line " + std::to_string(lineno) +
+                    ": empty segment");
+        sortSegment(cur);
+        table.segments.push_back(std::move(cur));
+        cur = TraceSegment{};
+    };
+
+    while (std::getline(ss, raw)) {
+        ++lineno;
+        const std::string line = stripLine(raw);
+        if (line.empty())
+            continue;
+        const auto fields = splitFields(line);
+        if (fields[0] == "segment") {
+            require(fields.size() == 2,
+                    "trace: line " + std::to_string(lineno) +
+                        ": segment directive needs exactly one "
+                        "work-unit count");
+            if (open)
+                closeSegment();
+            const double wu =
+                parseCell(fields[1], lineno, "work-unit count");
+            require(wu >= 0.0 && wu == std::floor(wu),
+                    "trace: line " + std::to_string(lineno) +
+                        ": work-unit count must be a non-negative "
+                        "integer");
+            cur.workUnits = static_cast<std::size_t>(wu);
+            open = true;
+            continue;
+        }
+        if (fields[0] == "config" || fields[0] == "index")
+            continue; // Optional header row.
+        require(fields.size() == 3,
+                "trace: line " + std::to_string(lineno) +
+                    ": expected 3 columns "
+                    "(config,performance,power), got " +
+                    std::to_string(fields.size()));
+        if (!open)
+            open = true; // Implicit unbounded first segment.
+        pushRow(cur, lineno, parseCell(fields[0], lineno, "config"),
+                parseCell(fields[1], lineno, "performance"),
+                parseCell(fields[2], lineno, "power"));
+    }
+    require(open, "trace: no data rows");
+    closeSegment();
+    return table;
+}
+
+/** One [c, perf, power] JSON row. */
+void
+pushJsonRow(TraceSegment &seg, const jsonish::Value &row)
+{
+    require(row.isArray() && row.items().size() == 3,
+            "trace: each row must be a [config, performance, power] "
+            "triple");
+    const double idx = row.items()[0].asNumber();
+    const double perf = row.items()[1].asNumber();
+    const double power = row.items()[2].asNumber();
+    require(std::isfinite(perf) && std::isfinite(power),
+            "trace: row cells must be finite");
+    pushRow(seg, 0, idx, perf, power);
+}
+
+TraceTable
+fromJson(const std::string &text)
+{
+    const jsonish::Value doc = jsonish::parse(text);
+    TraceTable table;
+    if (doc.isArray()) {
+        TraceSegment seg;
+        for (const auto &row : doc.items())
+            pushJsonRow(seg, row);
+        require(!seg.indices.empty(), "trace: empty segment");
+        sortSegment(seg);
+        table.segments.push_back(std::move(seg));
+        return table;
+    }
+    require(doc.isObject() && doc.has("segments"),
+            "trace: JSON root must be a row array or an object with "
+            "'segments'");
+    const auto &segs = doc.at("segments").items();
+    require(!segs.empty(), "trace: 'segments' is empty");
+    for (const auto &sv : segs) {
+        require(sv.isObject() && sv.has("rows"),
+                "trace: each segment needs a 'rows' array");
+        TraceSegment seg;
+        if (sv.has("workUnits")) {
+            const double wu = sv.at("workUnits").asNumber();
+            require(wu >= 0.0 && wu == std::floor(wu),
+                    "trace: workUnits must be a non-negative "
+                    "integer");
+            seg.workUnits = static_cast<std::size_t>(wu);
+        }
+        for (const auto &row : sv.at("rows").items())
+            pushJsonRow(seg, row);
+        require(!seg.indices.empty(), "trace: empty segment");
+        sortSegment(seg);
+        table.segments.push_back(std::move(seg));
+    }
+    return table;
+}
+
+/** splitmix64 finalizer: the deterministic noise hash. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Replayed ripple in [1-amp, 1+amp] for one (seed, seg, c, tag). */
+double
+ripple(std::uint64_t seed, std::size_t seg, std::size_t c,
+       std::uint64_t tag, double amp)
+{
+    if (amp == 0.0)
+        return 1.0;
+    std::uint64_t h = mix64(seed ^ mix64(tag));
+    h = mix64(h ^ (static_cast<std::uint64_t>(seg) << 32 | c));
+    const double u =
+        static_cast<double>(h >> 11) * 0x1.0p-53; // [0, 1)
+    return 1.0 + amp * (2.0 * u - 1.0);
+}
+
+/** Interpolate one dense value from sorted sparse rows. */
+double
+fillValue(const std::vector<std::size_t> &idx,
+          const std::vector<double> &val, std::size_t c,
+          TraceInterpolation policy)
+{
+    // Find the first measured row at or above c.
+    std::size_t hi = 0;
+    while (hi < idx.size() && idx[hi] < c)
+        ++hi;
+    if (hi < idx.size() && idx[hi] == c)
+        return val[hi]; // Exact row: replay the measurement.
+    if (hi == 0)
+        return val.front(); // Before the first row: clamp.
+    if (hi == idx.size())
+        return val.back(); // Past the last row: clamp.
+    const std::size_t lo = hi - 1;
+    switch (policy) {
+    case TraceInterpolation::Hold:
+        return val[lo];
+    case TraceInterpolation::Nearest: {
+        const std::size_t dlo = c - idx[lo];
+        const std::size_t dhi = idx[hi] - c;
+        return dlo <= dhi ? val[lo] : val[hi];
+    }
+    case TraceInterpolation::Linear:
+    default: {
+        const double t =
+            static_cast<double>(c - idx[lo]) /
+            static_cast<double>(idx[hi] - idx[lo]);
+        return val[lo] + (val[hi] - val[lo]) * t;
+    }
+    }
+}
+
+/** Pack the assignment's knob effects into a lookup key. */
+std::array<std::uint64_t, 7>
+keyOf(const platform::ResourceAssignment &ra)
+{
+    return {static_cast<std::uint64_t>(ra.threads),
+            std::bit_cast<std::uint64_t>(ra.htShare),
+            static_cast<std::uint64_t>(ra.memControllers),
+            std::bit_cast<std::uint64_t>(ra.freqGHz),
+            static_cast<std::uint64_t>(ra.turbo ? 1 : 0),
+            static_cast<std::uint64_t>(ra.activeCores),
+            static_cast<std::uint64_t>(ra.activeSockets)};
+}
+
+} // namespace
+
+TraceTable
+TraceTable::fromString(const std::string &text)
+{
+    return looksLikeJson(text) ? fromJson(text) : fromCsv(text);
+}
+
+TraceTable
+TraceTable::fromFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    require(in.good(), "trace: cannot read '" + path + "'");
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return fromString(buf.str());
+}
+
+std::size_t
+TraceTable::maxIndex() const
+{
+    std::size_t m = 0;
+    for (const auto &seg : segments)
+        for (const std::size_t c : seg.indices)
+            m = std::max(m, c);
+    return m;
+}
+
+std::size_t
+TraceTable::totalWorkUnits() const
+{
+    std::size_t total = 0;
+    for (const auto &seg : segments)
+        total += seg.workUnits;
+    return total;
+}
+
+TraceApplicationModel::TraceApplicationModel(
+    TraceTable table, const platform::ConfigSpace &space,
+    TraceModelOptions options)
+    : table_(std::move(table)), options_(std::move(options))
+{
+    require(!table_.segments.empty(), "trace: no segments");
+    const std::size_t n = space.size();
+    require(table_.maxIndex() < n,
+            "trace: config index " +
+                std::to_string(table_.maxIndex()) +
+                " is outside the space (size " + std::to_string(n) +
+                ")");
+
+    std::size_t start = 0;
+    for (std::size_t s = 0; s < table_.segments.size(); ++s) {
+        const auto &seg = table_.segments[s];
+        linalg::Vector perf(n), power(n);
+        for (std::size_t c = 0; c < n; ++c) {
+            perf[c] = fillValue(seg.indices, seg.performance, c,
+                                options_.interpolation) *
+                      ripple(options_.noiseSeed, s, c, 0x9e1u,
+                             options_.noiseRelative);
+            power[c] = fillValue(seg.indices, seg.power, c,
+                                 options_.interpolation) *
+                       ripple(options_.noiseSeed, s, c, 0x7077u,
+                              options_.noiseRelative);
+        }
+        perf_.push_back(std::move(perf));
+        power_.push_back(std::move(power));
+        starts_.push_back(start);
+        start += seg.workUnits;
+    }
+
+    for (std::size_t c = 0; c < n; ++c)
+        lookup_.emplace(keyOf(space.assignment(c)), c);
+}
+
+double
+TraceApplicationModel::heartbeatRate(
+    const platform::ResourceAssignment &ra) const
+{
+    return perf_[active_][indexOf(ra)];
+}
+
+double
+TraceApplicationModel::powerWatts(
+    const platform::ResourceAssignment &ra) const
+{
+    return power_[active_][indexOf(ra)];
+}
+
+double
+TraceApplicationModel::chipPowerWatts(
+    const platform::ResourceAssignment &ra) const
+{
+    // Traces measure wall power; attribute everything above the idle
+    // baseline to the chips.
+    return std::max(powerWatts(ra) - options_.idlePowerWatts, 0.0);
+}
+
+double
+TraceApplicationModel::idlePowerWatts() const
+{
+    return options_.idlePowerWatts;
+}
+
+void
+TraceApplicationModel::setWorkUnit(std::size_t unit)
+{
+    unit_ = unit;
+    active_ = segmentAt(unit);
+}
+
+void
+TraceApplicationModel::advance(std::size_t units)
+{
+    setWorkUnit(unit_ + units);
+}
+
+std::size_t
+TraceApplicationModel::segmentAt(std::size_t unit) const
+{
+    std::size_t seg = 0;
+    for (std::size_t s = 0; s < table_.segments.size(); ++s) {
+        const std::size_t wu = table_.segments[s].workUnits;
+        seg = s;
+        if (wu == 0 || unit < starts_[s] + wu)
+            return s;
+    }
+    return seg; // Past the last bounded segment: stay in it.
+}
+
+const linalg::Vector &
+TraceApplicationModel::segmentPerformance(std::size_t seg) const
+{
+    require(seg < perf_.size(), "trace: segment out of range");
+    return perf_[seg];
+}
+
+const linalg::Vector &
+TraceApplicationModel::segmentPower(std::size_t seg) const
+{
+    require(seg < power_.size(), "trace: segment out of range");
+    return power_[seg];
+}
+
+std::size_t
+TraceApplicationModel::indexOf(
+    const platform::ResourceAssignment &ra) const
+{
+    const auto it = lookup_.find(keyOf(ra));
+    require(it != lookup_.end(),
+            "trace: resource assignment is not in the model's "
+            "configuration space");
+    return it->second;
+}
+
+} // namespace leo::workloads

@@ -91,6 +91,17 @@ TEST(LintDeterminism, GlobalPlannerIsInScope)
     EXPECT_GE(countCheck(ds, "determinism"), 3u);
 }
 
+TEST(LintDeterminism, ScenarioSubsystemIsInScope)
+{
+    // Scenario replay is asserted bit-reproducible (same spec, same
+    // schedule at any shard/thread count), so src/scenario/ is in
+    // the determinism scope.
+    const auto ds = lintSource("src/scenario/scenario.cc",
+                               fixture("bad_determinism.cc"),
+                               testContext());
+    EXPECT_GE(countCheck(ds, "determinism"), 3u);
+}
+
 TEST(LintDeterminism, OutsideTheCoreIsNotScoped)
 {
     // The same bad code under src/runtime/ is out of scope.

@@ -17,6 +17,7 @@
 #include "optimizer/pareto.hh"
 #include "optimizer/schedule.hh"
 #include "runtime/controller.hh"
+#include "scenario/spec.hh"
 #include "stats/metrics.hh"
 #include "telemetry/profile_store.hh"
 #include "telemetry/sampler.hh"
@@ -367,30 +368,31 @@ INSTANTIATE_TEST_SUITE_P(
 namespace
 {
 
-/** Fault scenarios the refit equivalence must hold across. */
+/** Fault scenarios the refit equivalence must hold across,
+ *  authored in the scenario DSL (scenario/spec.hh) so the sweep is a
+ *  pure function of parseable spec text. Exactly four cells: the
+ *  INSTANTIATE_TEST_SUITE_P ranges below index into this list. */
 struct RefitScenario
 {
-    const char *name;
+    std::string name;
     faults::FaultScenario scenario;
 };
 
 std::vector<RefitScenario>
 refitSweep()
 {
+    static const char *const kCells[] = {
+        "name none\n",
+        "name nan\nfault.nan 0.10\n",
+        "name outlier\nfault.outlier 0.10\nfault.outlier_scale 25\n",
+        "name mixed\nfault.nan 0.05\nfault.dropout 0.05\n"
+        "fault.stale 0.05\n",
+    };
     std::vector<RefitScenario> sweep;
-    sweep.push_back({"none", faults::FaultScenario::none()});
-    faults::FaultScenario s;
-    s.nanProb = 0.10;
-    sweep.push_back({"nan", s});
-    s = faults::FaultScenario{};
-    s.outlierProb = 0.10;
-    s.outlierScale = 25.0;
-    sweep.push_back({"outlier", s});
-    s = faults::FaultScenario{};
-    s.nanProb = 0.05;
-    s.dropoutProb = 0.05;
-    s.staleProb = 0.05;
-    sweep.push_back({"mixed", s});
+    for (const char *text : kCells) {
+        const scenario::Spec spec = scenario::Spec::fromString(text);
+        sweep.push_back({spec.name, spec.faults});
+    }
     return sweep;
 }
 

@@ -31,6 +31,7 @@
 #include "linalg/error.hh"
 #include "optimizer/schedule.hh"
 #include "runtime/controller.hh"
+#include "scenario/spec.hh"
 #include "telemetry/profile_store.hh"
 #include "telemetry/sampler.hh"
 #include "workloads/ground_truth.hh"
@@ -73,39 +74,39 @@ struct World
 
 struct NamedScenario
 {
-    const char *name;
+    std::string name;
     FaultScenario scenario;
 };
 
-/** The fault sweep: each class alone, plus everything at once. */
+/**
+ * The fault sweep: each class alone, plus everything at once —
+ * authored in the scenario DSL (scenario/spec.hh), so the sweep
+ * exercises the same parser operators use, and the two nan-intensity
+ * variants come from a grid expansion to prove the cells are a pure
+ * function of the spec.
+ */
 std::vector<NamedScenario>
 faultSweep()
 {
+    static const char *const kCells[] = {
+        "name none\n",
+        "name nan\nfault.nan 0.15\n",
+        "name inf\nfault.inf 0.15\n",
+        "name dropout\nfault.dropout 0.15\n",
+        "name outlier\nfault.outlier 0.15\nfault.outlier_scale 25\n",
+        "name stale\nfault.stale 0.25\n",
+        "name mixed\nfault.nan 0.05\nfault.inf 0.05\n"
+        "fault.dropout 0.05\nfault.outlier 0.05\nfault.stale 0.05\n",
+    };
     std::vector<NamedScenario> sweep;
-    sweep.push_back({"none", FaultScenario::none()});
-    FaultScenario s;
-    s.nanProb = 0.15;
-    sweep.push_back({"nan", s});
-    s = FaultScenario{};
-    s.infProb = 0.15;
-    sweep.push_back({"inf", s});
-    s = FaultScenario{};
-    s.dropoutProb = 0.15;
-    sweep.push_back({"dropout", s});
-    s = FaultScenario{};
-    s.outlierProb = 0.15;
-    s.outlierScale = 25.0;
-    sweep.push_back({"outlier", s});
-    s = FaultScenario{};
-    s.staleProb = 0.25;
-    sweep.push_back({"stale", s});
-    s = FaultScenario{};
-    s.nanProb = 0.05;
-    s.infProb = 0.05;
-    s.dropoutProb = 0.05;
-    s.outlierProb = 0.05;
-    s.staleProb = 0.05;
-    sweep.push_back({"mixed", s});
+    for (const char *text : kCells) {
+        const scenario::Spec spec = scenario::Spec::fromString(text);
+        sweep.push_back({spec.name, spec.faults});
+    }
+    const scenario::Spec base = scenario::Spec::fromString("name nan\n");
+    for (const scenario::Spec &spec : scenario::expandGrid(
+             base, {{"fault.nan", {"0.05", "0.30"}}}))
+        sweep.push_back({spec.name, spec.faults});
     return sweep;
 }
 

@@ -16,7 +16,8 @@
  *   determinism        no wall-clock / libc randomness / unordered
  *                      container use inside the deterministic core
  *                      (src/estimators, src/linalg, src/parallel,
- *                      src/optimizer, src/stats)
+ *                      src/optimizer, src/scenario, src/service,
+ *                      src/stats)
  *   hot-alloc          no allocation inside regions bracketed by
  *                      `// leo-lint: hot-begin` / `hot-end` markers
  *   sanitize-boundary  every estimate()/estimateMetric() definition
@@ -403,7 +404,8 @@ checkDeterminism(const SourceUnit &unit, const LintContext &,
 {
     if (!underAny(unit.rel,
                   {"src/estimators/", "src/linalg/", "src/parallel/",
-                   "src/optimizer/", "src/service/", "src/stats/"}))
+                   "src/optimizer/", "src/scenario/", "src/service/",
+                   "src/stats/"}))
         return;
     static const std::set<std::string> banned_idents = {
         "random_device", "system_clock", "high_resolution_clock",

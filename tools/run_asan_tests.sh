@@ -18,16 +18,16 @@ cmake -B "$build_dir" -S "$src_dir" \
     -DLEO_SANITIZE=address \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" -j \
-    --target robustness_test optimizer_test runtime_test lowrank_test service_test global_test simplex_stress_test
+    --target robustness_test optimizer_test runtime_test lowrank_test service_test global_test scenario_test simplex_stress_test
 
 # ASAN/UBSAN_OPTIONS: fail the script on any report; UBSan reports are
 # non-fatal by default, so force a non-zero exit and keep going within
 # a binary so one finding does not mask another.
 asan="abort_on_error=0 exitcode=66 ${ASAN_OPTIONS:-}"
 ubsan="halt_on_error=0 exitcode=66 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
-for t in robustness_test optimizer_test runtime_test lowrank_test service_test global_test simplex_stress_test; do
+for t in robustness_test optimizer_test runtime_test lowrank_test service_test global_test scenario_test simplex_stress_test; do
     ASAN_OPTIONS="$asan" UBSAN_OPTIONS="$ubsan" \
         "$build_dir/tests/$t"
 done
 
-echo "ASan+UBSan run clean: robustness_test + optimizer_test + runtime_test + lowrank_test + service_test + global_test + simplex_stress_test"
+echo "ASan+UBSan run clean: robustness_test + optimizer_test + runtime_test + lowrank_test + service_test + global_test + scenario_test + simplex_stress_test"

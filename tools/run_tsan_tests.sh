@@ -17,13 +17,13 @@ cmake -B "$build_dir" -S "$src_dir" \
     -DLEO_SANITIZE=thread \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build_dir" -j \
-    --target parallel_test estimators_test obs_test lowrank_test service_test global_test
+    --target parallel_test estimators_test obs_test lowrank_test service_test global_test scenario_test
 
 # TSAN_OPTIONS: fail the script on any report (exitcode) and keep
 # going within a binary so one race does not mask another.
-for t in parallel_test estimators_test obs_test lowrank_test service_test global_test; do
+for t in parallel_test estimators_test obs_test lowrank_test service_test global_test scenario_test; do
     TSAN_OPTIONS="halt_on_error=0 exitcode=66 ${TSAN_OPTIONS:-}" \
         "$build_dir/tests/$t"
 done
 
-echo "TSan run clean: parallel_test + estimators_test + obs_test + lowrank_test + service_test + global_test"
+echo "TSan run clean: parallel_test + estimators_test + obs_test + lowrank_test + service_test + global_test + scenario_test"
