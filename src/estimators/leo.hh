@@ -164,7 +164,7 @@ struct LeoFit
     /** Heap allocations observed inside the EM iteration loop when a
      *  counter is registered via setAllocationCounter (0 otherwise).
      *  The workspace path keeps this at zero. */
-    std::size_t loopAllocations = 0;
+    std::size_t loopAllocations = 0; // leo-lint: allow(snapshot-completeness) diagnostic counter, not model state
     /** True iff this fit used the low-rank representation. Low-rank
      *  fits leave `sigma` empty (at n = 16384 the dense matrix would
      *  be 2 GB) and carry Sigma factored in the three fields below:

@@ -46,10 +46,10 @@ Cholesky::Cholesky(const Matrix &a, double max_jitter)
 void
 Cholesky::reserve(std::size_t n)
 {
-    l_.resize(n, n);
-    panelT_.resize(kPanel, n);
-    upd_x_.resize(n);
-    upd_stash_.resize(n, n);
+    l_.resize(n, n); // leo-lint: allow(hot-alloc-transitive) capacity guard; no-op when presized
+    panelT_.resize(kPanel, n); // leo-lint: allow(hot-alloc-transitive) capacity guard; no-op when presized
+    upd_x_.resize(n); // leo-lint: allow(hot-alloc-transitive) capacity guard; no-op when presized
+    upd_stash_.resize(n, n); // leo-lint: allow(hot-alloc-transitive) capacity guard; no-op when presized
 }
 
 void
@@ -94,7 +94,7 @@ Cholesky::tryFactorBlocked(const Matrix &a, double added_diag,
     if (jitter > 0.0)
         l_.addToDiagonal(jitter);
     if (panelT_.rows() != kPanel || panelT_.cols() != n)
-        panelT_.resize(kPanel, n);
+        panelT_.resize(kPanel, n); // leo-lint: allow(hot-alloc-transitive) capacity guard; no-op when presized
 
     // Right-looking blocked Cholesky. Every entry (i, j) of the
     // lower triangle receives its updates -= l(i,k) * l(j,k) in
@@ -469,7 +469,7 @@ Cholesky::inverseInto(Matrix &inv, Workspace &ws, bool mirror) const
     // per-entry products and their increasing-p order match
     // inverse() exactly (including its kpi == 0 skip); k-tiles that
     // lie entirely in K's structural-zero region are skipped.
-    inv.resize(n, n);
+    inv.resize(n, n); // leo-lint: allow(hot-alloc-transitive) capacity guard; no-op when presized
     for (std::size_t i0 = 0; i0 < n; i0 += kPanel) {
         const std::size_t i1 = std::min(n, i0 + kPanel);
         for (std::size_t j0 = 0; j0 <= i0; j0 += kPanel) {

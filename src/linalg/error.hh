@@ -49,7 +49,7 @@ class FatalError : public Error
 [[noreturn]] inline void
 panic(const std::string &msg)
 {
-    throw PanicError("panic: " + msg);
+    throw PanicError("panic: " + msg); // leo-lint: allow(nothrow-reachability) assert-style invariant escape; fit paths guard it
 }
 
 /**
@@ -60,7 +60,7 @@ panic(const std::string &msg)
 [[noreturn]] inline void
 fatal(const std::string &msg)
 {
-    throw FatalError("fatal: " + msg);
+    throw FatalError("fatal: " + msg); // leo-lint: allow(nothrow-reachability) precondition escape; boundaries validate first
 }
 
 /**

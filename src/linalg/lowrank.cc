@@ -162,7 +162,7 @@ abtInto(Matrix &out, const Matrix &a, const Matrix &b)
     const std::size_t r = a.rows();
     const std::size_t c = b.rows();
     const std::size_t kk = a.cols();
-    out.resize(r, c);
+    out.resize(r, c); // leo-lint: allow(hot-alloc-transitive) capacity guard; no-op when presized
     for (std::size_t i = 0; i < r; ++i) {
         const double *__restrict ai = a.data() + i * kk;
         std::size_t j = 0;
@@ -197,7 +197,7 @@ atbInto(Matrix &out, const Matrix &a, const Matrix &b)
     const std::size_t kk = a.rows();
     const std::size_t r = a.cols();
     const std::size_t c = b.cols();
-    out.resize(r, c);
+    out.resize(r, c); // leo-lint: allow(hot-alloc-transitive) capacity guard; no-op when presized
     out.fill(0.0);
     // Rank-1 row updates: out += a_row_k' * b_row_k, each a saxpy
     // over out's contiguous rows.
@@ -220,7 +220,7 @@ gemvInto(Vector &y, const Matrix &a, const Vector &x)
     require(&y != &x, "gemvInto aliased output");
     const std::size_t r = a.rows();
     const std::size_t c = a.cols();
-    y.resize(r);
+    y.resize(r); // leo-lint: allow(hot-alloc-transitive) capacity guard; no-op when presized
     const double *__restrict xp = x.data();
     for (std::size_t i = 0; i < r; ++i)
         y[i] = dotN(a.data() + i * c, xp, c);
@@ -234,7 +234,7 @@ gemvTransInto(Vector &y, const Matrix &a, const Vector &x)
     require(&y != &x, "gemvTransInto aliased output");
     const std::size_t r = a.rows();
     const std::size_t c = a.cols();
-    y.resize(c);
+    y.resize(c); // leo-lint: allow(hot-alloc-transitive) capacity guard; no-op when presized
     double *__restrict yp = y.data();
     for (std::size_t j = 0; j < c; ++j)
         yp[j] = 0.0;

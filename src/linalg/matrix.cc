@@ -20,7 +20,7 @@ Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
 {
     rows_ = rows.size();
     cols_ = rows_ == 0 ? 0 : rows.begin()->size();
-    data_.reserve(rows_ * cols_);
+    data_.reserve(rows_ * cols_); // leo-lint: allow(hot-alloc-transitive) cold init-list ctor; hot paths use the pooled sized ctor
     for (const auto &r : rows) {
         require(r.size() == cols_, "Matrix init rows of unequal length");
         data_.insert(data_.end(), r.begin(), r.end());

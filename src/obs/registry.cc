@@ -120,7 +120,7 @@ struct Registry::Shard
         std::atomic<Block *> &p = blocks[slot / kBlock];
         Block *b = p.load(std::memory_order_acquire);
         if (b == nullptr) {
-            b = new Block();
+            b = new Block(); // leo-lint: allow(hot-alloc-transitive) first-touch lazy block; amortized, never steady-state
             p.store(b, std::memory_order_release);
         }
         return *b;

@@ -175,7 +175,7 @@ class ChangePointDetector
     bool observeCusum(double residual);
     bool observeBayes(double residual);
 
-    ChangePointOptions options_;
+    ChangePointOptions options_; // leo-lint: allow(snapshot-completeness) configuration, supplied on construction
     std::size_t windows_ = 0;
     std::size_t latency_ = 0;
     // Warmup bias estimate (see ChangePointOptions::warmupWindows).
@@ -191,9 +191,9 @@ class ChangePointDetector
     std::vector<double> runProb_;
     std::vector<double> runCount_;
     std::vector<double> runSum_;
-    std::vector<double> scratchProb_;
-    std::vector<double> scratchCount_;
-    std::vector<double> scratchSum_;
+    std::vector<double> scratchProb_; // leo-lint: allow(snapshot-completeness) scratch, resized on demand
+    std::vector<double> scratchCount_; // leo-lint: allow(snapshot-completeness) scratch, resized on demand
+    std::vector<double> scratchSum_; // leo-lint: allow(snapshot-completeness) scratch, resized on demand
 };
 
 /** Histogram buckets for detection-latency-in-windows metrics. */

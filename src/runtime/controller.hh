@@ -343,8 +343,8 @@ class EnergyController
                           std::size_t *latency);
 
     const platform::ConfigSpace &space_;
-    const estimators::Estimator *estimator_;
-    const telemetry::ProfileStore &prior_;
+    const estimators::Estimator *estimator_; // leo-lint: allow(snapshot-completeness) borrowed dependency, rebound on construction
+    const telemetry::ProfileStore &prior_; // leo-lint: allow(snapshot-completeness) borrowed dependency, rebound on construction
     ControllerOptions options_;
 
     State state_ = State::Sampling;
@@ -355,7 +355,7 @@ class EnergyController
     linalg::Vector perf_;
     linalg::Vector power_;
     /** Scratch arena reused across LEO (re)fits. */
-    linalg::Workspace fit_ws_;
+    linalg::Workspace fit_ws_; // leo-lint: allow(snapshot-completeness) fit scratch workspace
     /** Previous LEO fits: drift-triggered re-estimations warm-start
      *  EM from these instead of the cold init. */
     estimators::LeoFit perf_fit_;
@@ -382,7 +382,7 @@ class EnergyController
     bool fit_pending_ = false;
     /** Instance-local registry backing the degradation counters (must
      *  precede the handles below — they bind to it at construction). */
-    obs::Registry obs_;
+    obs::Registry obs_; // leo-lint: allow(snapshot-completeness) process-local metrics
     obs::Counter fits_failed_ =
         obs_.counter(obs::names::kControllerFitsFailed);
     obs::Counter samples_rejected_ =
@@ -391,7 +391,7 @@ class EnergyController
         obs_.counter(obs::names::kControllerWindowsFallback);
     obs::Counter changepoints_detected_ =
         obs_.counter(obs::names::kControllerChangepointsDetected);
-    obs::Histogram changepoint_latency_ = obs_.histogram(
+    obs::Histogram changepoint_latency_ = obs_.histogram( // leo-lint: allow(snapshot-completeness) process-local metric
         obs::names::kControllerChangepointLatency,
         changePointLatencyBuckets());
     /** Online change-point detectors over heartbeat / power

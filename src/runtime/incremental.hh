@@ -164,9 +164,9 @@ class IncrementalRefit
     std::vector<Entry> entries_;
     std::size_t rebuilds_ = 0;
     // predictInto scratch (mutable: prediction is logically const).
-    mutable linalg::Vector t_;
-    mutable linalg::Vector y_;
-    mutable linalg::Vector fy_;
+    mutable linalg::Vector t_; // leo-lint: allow(snapshot-completeness) scratch, rebuilt per refit
+    mutable linalg::Vector y_; // leo-lint: allow(snapshot-completeness) scratch, rebuilt per refit
+    mutable linalg::Vector fy_; // leo-lint: allow(snapshot-completeness) scratch, rebuilt per refit
 };
 
 } // namespace leo::runtime

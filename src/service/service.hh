@@ -286,25 +286,25 @@ class Service
     void globalReplan(TickReport &report);
 
     const platform::ConfigSpace &space_;
-    const estimators::LeoEstimator &estimator_;
-    parallel::ThreadPool &pool_;
+    const estimators::LeoEstimator &estimator_; // leo-lint: allow(snapshot-completeness) borrowed dependency, rebound on construction
+    parallel::ThreadPool &pool_; // leo-lint: allow(snapshot-completeness) borrowed dependency, rebound on construction
     ServiceOptions options_;
 
     /** Live prior + version, swapped only at tick boundaries. */
     std::shared_ptr<const telemetry::ProfileStore> prior_;
     std::uint64_t prior_version_ = 0;
     /** Staged prior from refreshPrior() (any thread). */
-    std::mutex pending_prior_mutex_;
-    std::shared_ptr<const telemetry::ProfileStore> pending_prior_;
+    std::mutex pending_prior_mutex_; // leo-lint: allow(snapshot-completeness) synchronization primitive
+    std::shared_ptr<const telemetry::ProfileStore> pending_prior_; // leo-lint: allow(snapshot-completeness) in-flight update, intentionally dropped
 
     std::uint64_t next_id_ = 0;
     /** Sessions ordered by id (determinism: iteration order is the
      *  replay order, so it must not depend on memory layout). */
     std::map<std::uint64_t, std::unique_ptr<Session>> sessions_;
     std::vector<std::unique_ptr<ShardQueue>> queues_;
-    FitCache cache_;
+    FitCache cache_; // leo-lint: allow(snapshot-completeness) cache, rebuilt on demand
     /** Evictions already forwarded to the eviction counter. */
-    std::size_t evictions_seen_ = 0;
+    std::size_t evictions_seen_ = 0; // leo-lint: allow(snapshot-completeness) derived diagnostic
 
     /** Latest fleet co-schedule and the ids it covers (id order,
      *  index-aligned with global_plan_.perTenant). Derived state:
@@ -313,42 +313,42 @@ class Service
     std::vector<std::uint64_t> global_tenants_;
 
     /** Instance-local metrics (mirrors the controller pattern). */
-    obs::Registry obs_;
-    obs::Counter tenants_admitted_ =
+    obs::Registry obs_; // leo-lint: allow(snapshot-completeness) process-local metric
+    obs::Counter tenants_admitted_ = // leo-lint: allow(snapshot-completeness) process-local metric
         obs_.counter(obs::names::kServiceTenantsAdmitted);
-    obs::Counter tenants_rejected_ =
+    obs::Counter tenants_rejected_ = // leo-lint: allow(snapshot-completeness) process-local metric
         obs_.counter(obs::names::kServiceTenantsRejected);
-    obs::Counter tenants_closed_ =
+    obs::Counter tenants_closed_ = // leo-lint: allow(snapshot-completeness) process-local metric
         obs_.counter(obs::names::kServiceTenantsClosed);
     obs::Gauge tenants_active_ =
         obs_.gauge(obs::names::kServiceTenantsActive);
-    obs::Counter samples_enqueued_ =
+    obs::Counter samples_enqueued_ = // leo-lint: allow(snapshot-completeness) process-local metric
         obs_.counter(obs::names::kServiceSamplesEnqueued);
-    obs::Counter samples_dropped_ =
+    obs::Counter samples_dropped_ = // leo-lint: allow(snapshot-completeness) process-local metric
         obs_.counter(obs::names::kServiceSamplesDropped);
-    obs::Counter windows_processed_ =
+    obs::Counter windows_processed_ = // leo-lint: allow(snapshot-completeness) process-local metric
         obs_.counter(obs::names::kServiceWindowsProcessed);
-    obs::Counter ticks_run_ =
+    obs::Counter ticks_run_ = // leo-lint: allow(snapshot-completeness) process-local metric
         obs_.counter(obs::names::kServiceTicksRun);
-    obs::Counter fits_batched_ =
+    obs::Counter fits_batched_ = // leo-lint: allow(snapshot-completeness) process-local metric
         obs_.counter(obs::names::kServiceFitsBatched);
-    obs::Counter cache_hits_ =
+    obs::Counter cache_hits_ = // leo-lint: allow(snapshot-completeness) process-local metric
         obs_.counter(obs::names::kServiceCacheHits);
-    obs::Counter cache_misses_ =
+    obs::Counter cache_misses_ = // leo-lint: allow(snapshot-completeness) process-local metric
         obs_.counter(obs::names::kServiceCacheMisses);
-    obs::Counter cache_evictions_ =
+    obs::Counter cache_evictions_ = // leo-lint: allow(snapshot-completeness) process-local metric
         obs_.counter(obs::names::kServiceCacheEvictions);
-    obs::Counter prior_refreshes_ =
+    obs::Counter prior_refreshes_ = // leo-lint: allow(snapshot-completeness) process-local metric
         obs_.counter(obs::names::kServicePriorRefreshes);
     obs::Counter snapshots_saved_ =
         obs_.counter(obs::names::kServiceSnapshotsSaved);
     obs::Counter snapshots_restored_ =
         obs_.counter(obs::names::kServiceSnapshotsRestored);
-    obs::Counter global_replans_ =
+    obs::Counter global_replans_ = // leo-lint: allow(snapshot-completeness) process-local metric
         obs_.counter(obs::names::kServiceGlobalReplans);
-    obs::Counter global_infeasible_ =
+    obs::Counter global_infeasible_ = // leo-lint: allow(snapshot-completeness) process-local metric
         obs_.counter(obs::names::kServiceGlobalInfeasible);
-    obs::Histogram tick_ms_ = obs_.histogram(
+    obs::Histogram tick_ms_ = obs_.histogram( // leo-lint: allow(snapshot-completeness) process-local metric
         obs::names::kServiceTickMs, obs::defaultTimeBucketsMs());
 };
 

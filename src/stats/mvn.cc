@@ -162,7 +162,7 @@ conditionOnObservationsInto(GaussianPosterior &post,
     scratch.chol.factorize(scratch.k, noise_var, 1e-8);
 
     // alpha = K^-1 (y_obs - mu[obs]).
-    scratch.alpha.resize(s);
+    scratch.alpha.resize(s); // leo-lint: allow(hot-alloc-transitive) capacity guard; no-op when presized
     for (std::size_t j = 0; j < s; ++j)
         scratch.alpha[j] = y_obs[j] - mu[obs_idx[j]];
     scratch.chol.solveInPlace(scratch.alpha);
@@ -170,7 +170,7 @@ conditionOnObservationsInto(GaussianPosterior &post,
     // Cross covariance as rows: crossT = Sigma[obs, :] (s x n). For
     // an exactly symmetric sigma_m this holds the same bits as the
     // reference's Sigma[:, obs] columns.
-    scratch.crossT.resize(s, n);
+    scratch.crossT.resize(s, n); // leo-lint: allow(hot-alloc-transitive) capacity guard; no-op when presized
     for (std::size_t j = 0; j < s; ++j)
         for (std::size_t i = 0; i < n; ++i)
             scratch.crossT.at(j, i) = sigma_m.at(obs_idx[j], i);

@@ -1,0 +1,17 @@
+// The hot region itself never allocates; the helper it calls does.
+// The transitive walk must chase the call edge and flag it.
+#include <vector>
+
+void
+grow(std::vector<int> &v)
+{
+    v.resize(100);
+}
+
+void
+step(std::vector<int> &v)
+{
+    // leo-lint: hot-begin
+    grow(v);
+    // leo-lint: hot-end
+}

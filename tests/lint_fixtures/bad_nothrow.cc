@@ -1,0 +1,21 @@
+// A throw two calls away from a public Service entry point: the
+// cross-TU walk must reach it even though tick() itself is clean.
+struct Service
+{
+public:
+    void tick();
+};
+
+void helperDeep();
+
+void
+Service::tick()
+{
+    helperDeep();
+}
+
+void
+helperDeep()
+{
+    throw 1;
+}

@@ -1,0 +1,31 @@
+// The 'dropped' field was added to Blob without updating either
+// serializer: snapshot-completeness must flag it.
+struct ByteWriter
+{
+    void u64(unsigned long long v);
+};
+
+struct ByteReader
+{
+    unsigned long long u64();
+};
+
+struct Blob
+{
+    unsigned long long kept = 0;
+    unsigned long long dropped = 0;
+};
+
+void
+saveBlob(ByteWriter &w, const Blob &b)
+{
+    w.u64(b.kept);
+}
+
+Blob
+loadBlob(ByteReader &r)
+{
+    Blob b;
+    b.kept = r.u64();
+    return b;
+}

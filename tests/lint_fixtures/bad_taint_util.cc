@@ -1,0 +1,8 @@
+// Linted under an unscoped path (e.g. src/runtime/): the per-file
+// determinism check ignores it, but the taint walk must flag the
+// wall-clock read because taint_root.cc reaches it from the core.
+int
+freshSeed()
+{
+    return static_cast<int>(time(nullptr));
+}

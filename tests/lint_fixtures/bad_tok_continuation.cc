@@ -1,0 +1,6 @@
+// A line-continuation macro body is live code: the banned call on
+// the continued line must fire even though the logical line started
+// with `#define`.
+#define FRESH_SEED() \
+    rand()
+int seed() { return FRESH_SEED(); }

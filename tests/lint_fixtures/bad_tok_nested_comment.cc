@@ -1,0 +1,4 @@
+// Block comments do not nest: the first */ ends the comment (as in
+// the compiler), so the container after it is live and must fire.
+/* outer /* looks nested */ std::unordered_map<int, int> live; /* tail */
+int after = 0;

@@ -1,0 +1,4 @@
+// Raw string containing `//` must not swallow the rest of the file:
+// the banned identifier on the next line is live code and must fire.
+const char *q = R"(not a comment: // still inside the literal)";
+std::chrono::system_clock::time_point stamp();

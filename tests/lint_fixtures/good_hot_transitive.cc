@@ -1,0 +1,17 @@
+// The helper reached from the hot region does no allocation.
+#include <vector>
+
+void
+grow(std::vector<int> &v)
+{
+    if (!v.empty())
+        v[0] = 7;
+}
+
+void
+step(std::vector<int> &v)
+{
+    // leo-lint: hot-begin
+    grow(v);
+    // leo-lint: hot-end
+}

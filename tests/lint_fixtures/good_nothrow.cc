@@ -1,0 +1,24 @@
+// The throw sits inside a try block: the guard catches it before it
+// can escape the entry point, so the reachability walk stays clean.
+struct Service
+{
+public:
+    void tick();
+};
+
+void helperDeep();
+
+void
+Service::tick()
+{
+    helperDeep();
+}
+
+void
+helperDeep()
+{
+    try {
+        throw 1;
+    } catch (...) {
+    }
+}

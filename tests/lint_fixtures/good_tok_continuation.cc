@@ -1,0 +1,5 @@
+// A line comment whose last character is a backslash splices the
+// next line into the comment (translation phase 2): the banned call
+// below is comment text, not code. \
+rand(); srand(7); std::unordered_map<int, int> hidden;
+int live = 1;

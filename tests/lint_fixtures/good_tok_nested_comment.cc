@@ -1,0 +1,4 @@
+// Everything inside one block comment is inert, banned words
+// included.
+/* rand( srand( unordered_map system_clock random_device */
+int live = 0;

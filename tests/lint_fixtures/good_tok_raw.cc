@@ -1,0 +1,7 @@
+// Banned identifiers, comment openers and lint directives inside raw
+// strings (plain and encoding-prefixed) are literal text: no
+// findings, no hot regions, no dangling markers.
+const char *a = R"(rand( time( unordered_map // system_clock)";
+const wchar_t *b = LR"x(drand48( // leo-lint: hot-begin)x";
+const char *c = u8R"(srand( /* random_device */)";
+int live = 0;

@@ -1,0 +1,17 @@
+// Same shape as bad_hot_transitive.cc; the hot call site opts out
+// with a justification (capacity guard pattern).
+#include <vector>
+
+void
+grow(std::vector<int> &v)
+{
+    v.resize(100);
+}
+
+void
+step(std::vector<int> &v)
+{
+    // leo-lint: hot-begin
+    grow(v); // leo-lint: allow(hot-alloc-transitive) capacity guard; no-op when presized
+    // leo-lint: hot-end
+}

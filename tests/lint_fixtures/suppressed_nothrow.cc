@@ -1,0 +1,21 @@
+// Same shape as bad_nothrow.cc; the throw line opts out with a
+// justification, as src/linalg/error.hh does for panic()/fatal().
+struct Service
+{
+public:
+    void tick();
+};
+
+void helperDeep();
+
+void
+Service::tick()
+{
+    helperDeep();
+}
+
+void
+helperDeep()
+{
+    throw 1; // leo-lint: allow(nothrow-reachability) assert-style escape
+}

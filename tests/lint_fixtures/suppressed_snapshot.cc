@@ -1,0 +1,31 @@
+// The unserialized field opts out at its declaration line with a
+// justification, as scratch/metric fields in the real tree do.
+struct ByteWriter
+{
+    void u64(unsigned long long v);
+};
+
+struct ByteReader
+{
+    unsigned long long u64();
+};
+
+struct Blob
+{
+    unsigned long long kept = 0;
+    unsigned long long dropped = 0; // leo-lint: allow(snapshot-completeness) process-local metric
+};
+
+void
+saveBlob(ByteWriter &w, const Blob &b)
+{
+    w.u64(b.kept);
+}
+
+Blob
+loadBlob(ByteReader &r)
+{
+    Blob b;
+    b.kept = r.u64();
+    return b;
+}

@@ -1,0 +1,6 @@
+// The wall-clock read opts out on its line with a justification.
+int
+freshSeed()
+{
+    return static_cast<int>(time(nullptr)); // leo-lint: allow(determinism-taint) coarse seed, not on a replayed path
+}

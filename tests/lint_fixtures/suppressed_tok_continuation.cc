@@ -1,0 +1,4 @@
+// The continued-macro finding is silenced on the line that fires.
+#define FRESH_SEED() \
+    rand() // leo-lint: allow(determinism)
+int seed() { return FRESH_SEED(); }

@@ -1,0 +1,3 @@
+// The live container after the first */ is silenced on its line.
+/* outer /* looks nested */ std::unordered_map<int, int> live; // leo-lint: allow(determinism)
+int after = 0;

@@ -1,0 +1,3 @@
+// The live finding after the raw string is silenced on its line.
+const char *q = R"(not a comment: // still inside the literal)";
+std::chrono::system_clock::time_point stamp(); // leo-lint: allow(determinism)

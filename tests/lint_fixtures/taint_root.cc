@@ -1,0 +1,9 @@
+// Linted under a determinism-scoped path (e.g. src/estimators/):
+// calls a helper that lives outside the scope.
+int freshSeed();
+
+int
+fitSomething()
+{
+    return freshSeed() + 1;
+}

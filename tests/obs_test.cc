@@ -8,6 +8,8 @@
  * to the uninstrumented reference path, and counter snapshots are
  * identical at any fit thread count.
  */
+// leo-lint: allow-file(obs-naming) — registry mechanics are tested
+// with synthetic instrument names, not the production constants.
 
 #include <cstdint>
 #include <limits>

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Implementation of the leo-lint call-graph pass (see callgraph.hh).
+ */
+
+#include "lint/callgraph.hh"
+
+#include <set>
+
+namespace leolint
+{
+
+namespace
+{
+
+/** Control-flow and operator-like keywords that look like calls. */
+const std::set<std::string> &
+notACallee()
+{
+    static const std::set<std::string> kw = {
+        "if",       "while",     "for",         "switch",
+        "return",   "sizeof",    "alignof",     "alignas",
+        "catch",    "throw",     "noexcept",    "decltype",
+        "typeid",   "new",       "delete",      "assert",
+        "static_cast",           "dynamic_cast",
+        "reinterpret_cast",      "const_cast",  "defined"};
+    return kw;
+}
+
+const std::set<std::string> &
+determinismIdents()
+{
+    static const std::set<std::string> s = {
+        "random_device", "system_clock", "high_resolution_clock",
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+    return s;
+}
+
+const std::set<std::string> &
+determinismCalls()
+{
+    // The libc set from the per-file check, plus the thread-identity
+    // sources ("thread-id-dependent branching" is nondeterministic
+    // under any scheduler).
+    static const std::set<std::string> s = {
+        "rand",  "srand",  "rand_r",      "drand48", "time",
+        "clock", "get_id", "pthread_self", "gettid"};
+    return s;
+}
+
+const std::set<std::string> &
+allocContainers()
+{
+    static const std::set<std::string> s = {
+        "vector",        "deque",         "list",
+        "map",           "set",           "multimap",
+        "multiset",      "unordered_map", "unordered_set",
+        "unordered_multimap", "unordered_multiset", "basic_string"};
+    return s;
+}
+
+const std::set<std::string> &
+allocCalls()
+{
+    static const std::set<std::string> s = {
+        "malloc", "calloc", "realloc", "strdup", "make_unique",
+        "make_shared"};
+    return s;
+}
+
+/** Scan one function body and fill its facts. */
+void
+scanBody(const SourceUnit &unit, const FunctionDef &fn,
+         FunctionFacts &out)
+{
+    const std::vector<Token> &t = unit.tokens;
+    int depth = 0;
+    bool pendingTry = false;
+    std::vector<int> tryDepths; //!< Brace depth of each open try {}.
+
+    for (std::size_t i = fn.bodyBegin;
+         i <= fn.bodyEnd && i < t.size(); ++i) {
+        const Token &tok = t[i];
+        const bool guarded = !tryDepths.empty();
+        if (tok.kind == TokenKind::Punct) {
+            if (tok.text == "{") {
+                ++depth;
+                if (pendingTry) {
+                    tryDepths.push_back(depth);
+                    pendingTry = false;
+                }
+            } else if (tok.text == "}") {
+                if (!tryDepths.empty() && tryDepths.back() == depth)
+                    tryDepths.pop_back();
+                --depth;
+            }
+            continue;
+        }
+        if (tok.kind != TokenKind::Identifier)
+            continue;
+        const std::string &w = tok.text;
+        if (w == "try") {
+            pendingTry = true;
+            continue;
+        }
+        const bool after_scope = i > fn.bodyBegin &&
+                                 t[i - 1].kind == TokenKind::Punct &&
+                                 t[i - 1].text == "::";
+        const bool after_member =
+            i > fn.bodyBegin && t[i - 1].kind == TokenKind::Punct &&
+            (t[i - 1].text == "." || t[i - 1].text == "->");
+        const bool before_paren = i + 1 < t.size() &&
+                                  t[i + 1].kind == TokenKind::Punct &&
+                                  t[i + 1].text == "(";
+
+        if (w == "throw") {
+            out.events.push_back(
+                {BodyEvent::Kind::Throw, "throw", tok.line, guarded});
+            continue;
+        }
+        // Determinism sources (mirrors the per-file check so the
+        // taint analysis reports the same vocabulary).
+        if (determinismIdents().count(w)) {
+            out.events.push_back({BodyEvent::Kind::Determinism, w,
+                                  tok.line, guarded});
+        } else if (determinismCalls().count(w) && before_paren &&
+                   !after_member) {
+            out.events.push_back({BodyEvent::Kind::Determinism,
+                                  w + "(", tok.line, guarded});
+        }
+        // Allocation patterns (mirrors the hot-alloc per-file check).
+        if (w == "new") {
+            out.events.push_back(
+                {BodyEvent::Kind::Alloc, "new", tok.line, guarded});
+            continue;
+        }
+        // `.resize(` / `.reserve(` are modeled as the allocation
+        // itself, not as an edge: resolving them by name would wire
+        // every `vec.reserve(..)` into every project function named
+        // `reserve` (the receiver's type is unknown), and the
+        // capacity operation is what the hot-path checks care about.
+        const bool capacityOp =
+            (w == "resize" || w == "reserve") && after_member;
+        if (capacityOp ||
+            ((w == "string" || w == "to_string") && after_scope) ||
+            (allocContainers().count(w) && after_scope) ||
+            (allocCalls().count(w) && before_paren)) {
+            out.events.push_back(
+                {BodyEvent::Kind::Alloc, w, tok.line, guarded});
+            if (capacityOp)
+                continue;
+            // make_unique( etc. are also calls; fall through so the
+            // call edge exists too (harmless — they resolve to
+            // nothing in the index).
+        }
+        // Call site: identifier directly before '('.
+        if (before_paren && !notACallee().count(w)) {
+            CallSite call;
+            call.callee = w;
+            if (after_scope && i >= fn.bodyBegin + 2 &&
+                t[i - 2].kind == TokenKind::Identifier)
+                call.classHint = t[i - 2].text;
+            call.line = tok.line;
+            call.guarded = guarded;
+            out.calls.push_back(std::move(call));
+        }
+    }
+}
+
+} // namespace
+
+CallGraph
+buildCallGraph(const std::vector<SourceUnit> &units,
+               const SymbolIndex &index)
+{
+    CallGraph graph;
+    graph.facts.resize(index.functions.size());
+    for (std::size_t f = 0; f < index.functions.size(); ++f) {
+        const FunctionDef &fn = index.functions[f];
+        if (fn.unit < units.size())
+            scanBody(units[fn.unit], fn, graph.facts[f]);
+    }
+    return graph;
+}
+
+} // namespace leolint

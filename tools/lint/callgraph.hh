@@ -1,0 +1,79 @@
+/**
+ * @file
+ * leo-lint pass 2 input: the approximate call graph.
+ *
+ * For every function definition in the symbol index this pass records
+ * (a) its outgoing call sites — identifier-before-'(' with an
+ * optional `Qualifier::` hint — and (b) the "events" the reachability
+ * checks care about: `throw` statements, nondeterminism sources and
+ * allocation patterns. Call sites and throw events carry a `guarded`
+ * bit when they sit inside a `try` block: for the nothrow analysis a
+ * guarded call cannot leak an exception, so those edges are cut
+ * (catch bodies are ordinary, unguarded code).
+ *
+ * Resolution is name-based and overload/template-blind, i.e. an
+ * over-approximation: a member call `x.fit()` reaches every indexed
+ * function named `fit`. That errs toward reporting, and the per-line
+ * suppressions absorb the rare false positive.
+ */
+
+#ifndef LEO_TOOLS_LINT_CALLGRAPH_HH
+#define LEO_TOOLS_LINT_CALLGRAPH_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lint/index.hh"
+#include "lint/tokenizer.hh"
+
+namespace leolint
+{
+
+/** One call site inside a function body. */
+struct CallSite
+{
+    std::string callee;    //!< Simple name before the '('.
+    std::string classHint; //!< `Hint::callee(` qualifier, or "".
+    int line;
+    bool guarded; //!< Inside a `try` block of the caller.
+};
+
+/** One event a reachability check may report on. */
+struct BodyEvent
+{
+    enum class Kind
+    {
+        Throw,       //!< A `throw` expression.
+        Determinism, //!< Clock / randomness / unordered container.
+        Alloc        //!< Heap allocation pattern.
+    };
+    Kind kind;
+    std::string what; //!< The offending token / pattern, for messages.
+    int line;
+    bool guarded; //!< Inside a `try` block (relevant for Throw).
+};
+
+/** Per-function facts; parallel to SymbolIndex::functions. */
+struct FunctionFacts
+{
+    std::vector<CallSite> calls;
+    std::vector<BodyEvent> events;
+};
+
+/** The call graph: facts[i] describes index.functions[i]. */
+struct CallGraph
+{
+    std::vector<FunctionFacts> facts;
+};
+
+/**
+ * Scan every indexed function body in `units` and collect call sites
+ * and events. `units` must be the same vector `index` was built from.
+ */
+CallGraph buildCallGraph(const std::vector<SourceUnit> &units,
+                         const SymbolIndex &index);
+
+} // namespace leolint
+
+#endif // LEO_TOOLS_LINT_CALLGRAPH_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * leo-lint checks: per-file token checks and whole-program
+ * reachability/completeness checks.
+ *
+ * Two families share one diagnostic format and one suppression
+ * mechanism (`// leo-lint: allow(<check>)` on the offending line):
+ *
+ *  - *File checks* see one SourceUnit at a time: determinism (scoped
+ *    to the deterministic core), hot-alloc (direct allocation between
+ *    hot markers), sanitize-boundary, obs-naming, header-hygiene.
+ *  - *Program checks* see the symbol index and call graph built over
+ *    the whole scan set: nothrow-reachability, determinism-taint,
+ *    hot-alloc-transitive and snapshot-completeness. Their findings
+ *    carry a call-chain trace (`Diagnostic::chain`) from the root
+ *    that makes the invariant apply down to the offending site.
+ */
+
+#ifndef LEO_TOOLS_LINT_CHECKS_HH
+#define LEO_TOOLS_LINT_CHECKS_HH
+
+#include <cstddef>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/callgraph.hh"
+#include "lint/index.hh"
+#include "lint/tokenizer.hh"
+
+namespace leolint
+{
+
+/** One finding. */
+struct Diagnostic
+{
+    std::string check;
+    std::string file;
+    int line;
+    std::string message;
+    /** Call-chain trace (program checks only): "file:line symbol"
+     *  frames from the root to the offending function. */
+    std::vector<std::string> chain;
+};
+
+/** Shared context for the file checks. */
+struct LintContext
+{
+    std::set<std::string> obsNames;
+    bool obsNamesLoaded = false;
+};
+
+/** A check's identity, for --list-checks and the tests. */
+struct CheckInfo
+{
+    std::string name;
+    std::string description;
+};
+
+/** The per-file checks, in execution order. */
+const std::vector<CheckInfo> &fileChecks();
+
+/** The whole-program checks, in execution order. */
+const std::vector<CheckInfo> &programChecks();
+
+/**
+ * Run the file checks over one tokenized unit. Suppressed findings
+ * are dropped; `suppressed`, when given, is incremented per drop.
+ */
+std::vector<Diagnostic> lintUnit(const SourceUnit &unit,
+                                 const LintContext &ctx,
+                                 std::size_t *suppressed = nullptr);
+
+/** Convenience: tokenize `src` as `rel` and run the file checks. */
+std::vector<Diagnostic> lintSource(const std::string &rel,
+                                   const std::string &src,
+                                   const LintContext &ctx,
+                                   std::size_t *suppressed = nullptr);
+
+/**
+ * Run the program checks over the whole scan set. `units` must be
+ * the vector `index` and `graph` were built from.
+ */
+std::vector<Diagnostic> lintProgram(const std::vector<SourceUnit> &units,
+                                    const SymbolIndex &index,
+                                    const CallGraph &graph,
+                                    std::size_t *suppressed = nullptr);
+
+/** Stable ordering shared by all reports. */
+void sortDiagnostics(std::vector<Diagnostic> &diags);
+
+/** Build the shared context (loads src/obs/names.hh when present). */
+LintContext makeContext(const std::filesystem::path &root);
+
+} // namespace leolint
+
+#endif // LEO_TOOLS_LINT_CHECKS_HH

@@ -1,0 +1,546 @@
+/**
+ * @file
+ * Implementation of the leo-lint symbol index (see index.hh).
+ *
+ * The parser is a single forward walk per unit with a scope stack
+ * (namespace / class / plain block). At declaration context it
+ * recognizes, in order: preprocessor directives (skipped line-wise,
+ * honoring backslash continuations), namespaces, class/struct
+ * definitions (pushed as scopes; their headers yield the name),
+ * enums (skipped whole — enumerators are not fields), access
+ * specifiers, and otherwise a "declaration statement" that is
+ * classified as a field, a method declaration, or a function
+ * definition with a body. Constructor initializer lists, brace
+ * initializers, trailing return types and `= default/delete` are
+ * all handled structurally; everything type-level (templates,
+ * overloads) is deliberately name-blind.
+ */
+
+#include "lint/index.hh"
+
+#include <algorithm>
+
+namespace leolint
+{
+
+namespace
+{
+
+/** Keywords that can never be a callee or declarator name. */
+const std::set<std::string> &
+cppKeywords()
+{
+    static const std::set<std::string> kw = {
+        "alignas",  "alignof",  "auto",     "bool",     "break",
+        "case",     "catch",    "char",     "class",    "const",
+        "constexpr","continue", "decltype", "default",  "delete",
+        "do",       "double",   "else",     "enum",     "explicit",
+        "extern",   "false",    "float",    "for",      "friend",
+        "goto",     "if",       "inline",   "int",      "long",
+        "mutable",  "namespace","new",      "noexcept", "nullptr",
+        "operator", "private",  "protected","public",   "register",
+        "return",   "short",    "signed",   "sizeof",   "static",
+        "struct",   "switch",   "template", "this",     "throw",
+        "true",     "try",      "typedef",  "typeid",   "typename",
+        "union",    "unsigned", "using",    "virtual",  "void",
+        "volatile", "while"};
+    return kw;
+}
+
+/** Per-unit parser state. */
+struct Parser
+{
+    const SourceUnit &unit;
+    std::size_t unitId;
+    SymbolIndex &index;
+
+    struct Scope
+    {
+        enum class Kind
+        {
+            Namespace,
+            Class,
+            Block
+        };
+        Kind kind;
+        std::size_t structId = 0; //!< Valid when kind == Class.
+        bool accessPublic = true; //!< Current access in a class.
+    };
+    std::vector<Scope> scopes;
+
+    const std::vector<Token> &t() const { return unit.tokens; }
+    std::size_t n() const { return unit.tokens.size(); }
+
+    bool isIdent(std::size_t i, const char *text = nullptr) const
+    {
+        return i < n() && t()[i].kind == TokenKind::Identifier &&
+               (!text || t()[i].text == text);
+    }
+
+    bool isPunct(std::size_t i, const char *text) const
+    {
+        return i < n() && t()[i].kind == TokenKind::Punct &&
+               t()[i].text == text;
+    }
+
+    /** Innermost class scope, or nullptr. */
+    Scope *classScope()
+    {
+        return !scopes.empty() &&
+                       scopes.back().kind == Scope::Kind::Class
+                   ? &scopes.back()
+                   : nullptr;
+    }
+
+    /**
+     * Skip a preprocessor directive starting at the '#' token:
+     * consume every token on the directive's line, following
+     * backslash continuations onto subsequent lines.
+     */
+    std::size_t skipDirective(std::size_t i) const
+    {
+        int curLine = t()[i].line;
+        ++i;
+        while (i < n()) {
+            if (t()[i].line == curLine) {
+                const bool cont = isPunct(i, "\\");
+                ++i;
+                if (cont && i < n() && t()[i].line == curLine + 1)
+                    ++curLine;
+                continue;
+            }
+            break;
+        }
+        return i;
+    }
+
+    /** Skip a balanced token group opened at `i` (any of ( [ {). */
+    std::size_t skipBalanced(std::size_t i, const char *open,
+                             const char *close) const
+    {
+        int depth = 0;
+        for (; i < n(); ++i) {
+            if (isPunct(i, open))
+                ++depth;
+            else if (isPunct(i, close) && --depth == 0)
+                return i + 1;
+        }
+        return i;
+    }
+
+    void run()
+    {
+        std::size_t i = 0;
+        while (i < n())
+            i = step(i);
+    }
+
+    /** One dispatch at declaration context; returns the next pos. */
+    std::size_t step(std::size_t i)
+    {
+        if (isPunct(i, "#"))
+            return skipDirective(i);
+        if (isPunct(i, ";"))
+            return i + 1;
+        if (isPunct(i, "{")) {
+            scopes.push_back({Scope::Kind::Block});
+            return i + 1;
+        }
+        if (isPunct(i, "}")) {
+            const bool wasClass =
+                !scopes.empty() &&
+                scopes.back().kind == Scope::Kind::Class;
+            if (!scopes.empty())
+                scopes.pop_back();
+            ++i;
+            if (wasClass && isPunct(i, ";"))
+                ++i;
+            return i;
+        }
+        if (isIdent(i, "namespace"))
+            return parseNamespace(i);
+        if (isIdent(i, "template")) {
+            // Skip the parameter list; the declaration that follows
+            // is handled normally (name-blind).
+            if (isPunct(i + 1, "<")) {
+                int depth = 0;
+                std::size_t j = i + 1;
+                for (; j < n(); ++j) {
+                    if (isPunct(j, "<"))
+                        ++depth;
+                    else if (isPunct(j, ">") && --depth == 0)
+                        return j + 1;
+                }
+                return j;
+            }
+            return i + 1;
+        }
+        if (isIdent(i, "enum"))
+            return parseEnum(i);
+        if (isIdent(i, "using") || isIdent(i, "typedef") ||
+            isIdent(i, "friend"))
+            return skipToSemicolon(i);
+        if ((isIdent(i, "class") || isIdent(i, "struct") ||
+             isIdent(i, "union")))
+            return parseClass(i);
+        if (Scope *cls = classScope()) {
+            if ((isIdent(i, "public") || isIdent(i, "private") ||
+                 isIdent(i, "protected")) &&
+                isPunct(i + 1, ":")) {
+                cls->accessPublic = t()[i].text == "public";
+                return i + 2;
+            }
+        }
+        if (isIdent(i, "extern") && i + 1 < n() &&
+            t()[i + 1].kind == TokenKind::String &&
+            isPunct(i + 2, "{")) {
+            scopes.push_back({Scope::Kind::Block});
+            return i + 3;
+        }
+        return parseDeclaration(i);
+    }
+
+    /** Skip to the next ';' at group depth 0 (consuming balanced
+     *  paren/brace/bracket groups on the way). */
+    std::size_t skipToSemicolon(std::size_t i) const
+    {
+        while (i < n()) {
+            if (isPunct(i, ";"))
+                return i + 1;
+            if (isPunct(i, "("))
+                i = skipBalanced(i, "(", ")");
+            else if (isPunct(i, "{"))
+                i = skipBalanced(i, "{", "}");
+            else if (isPunct(i, "["))
+                i = skipBalanced(i, "[", "]");
+            else if (isPunct(i, "#"))
+                i = skipDirective(i);
+            else
+                ++i;
+        }
+        return i;
+    }
+
+    std::size_t parseNamespace(std::size_t i)
+    {
+        std::size_t j = i + 1;
+        while (isIdent(j) || isPunct(j, "::"))
+            ++j;
+        if (isPunct(j, "{")) {
+            scopes.push_back({Scope::Kind::Namespace});
+            return j + 1;
+        }
+        return skipToSemicolon(j); // Alias or malformed.
+    }
+
+    std::size_t parseEnum(std::size_t i)
+    {
+        std::size_t j = i + 1;
+        while (j < n() && !isPunct(j, "{") && !isPunct(j, ";"))
+            ++j;
+        if (isPunct(j, "{"))
+            j = skipBalanced(j, "{", "}");
+        if (isPunct(j, ";"))
+            ++j;
+        return j;
+    }
+
+    std::size_t parseClass(std::size_t i)
+    {
+        const bool isClass = isIdent(i, "class");
+        std::size_t j = i + 1;
+        std::string name;
+        // The header: attributes/macros/name, then { or ; or a base
+        // clause. The last identifier before the body (skipping
+        // `final`) is the class name.
+        while (j < n() && !isPunct(j, "{") && !isPunct(j, ";") &&
+               !isPunct(j, ":")) {
+            if (isPunct(j, "[")) {
+                j = skipBalanced(j, "[", "]");
+                continue;
+            }
+            if (isIdent(j) && t()[j].text != "final")
+                name = t()[j].text;
+            ++j;
+        }
+        if (isPunct(j, ":")) {
+            // Base clause: no braces before the body brace.
+            while (j < n() && !isPunct(j, "{") && !isPunct(j, ";"))
+                ++j;
+        }
+        if (!isPunct(j, "{") || name.empty())
+            return isPunct(j, ";") ? j + 1 : j + 1;
+        StructDef def;
+        def.name = name;
+        def.unit = unitId;
+        def.line = t()[i].line;
+        index.structs.push_back(std::move(def));
+        const std::size_t id = index.structs.size() - 1;
+        index.structsByName[name].push_back(id);
+        Scope scope{Scope::Kind::Class};
+        scope.structId = id;
+        scope.accessPublic = !isClass; // struct/union default public.
+        scopes.push_back(scope);
+        return j + 1;
+    }
+
+    /**
+     * Parse one declaration statement at namespace or class scope:
+     * a field, a method declaration, or a function definition.
+     */
+    std::size_t parseDeclaration(std::size_t start)
+    {
+        std::size_t i = start;
+        int parens = 0;
+        std::size_t firstParen = 0;
+        bool haveParen = false;
+        bool eqBeforeParen = false;
+        bool sawEq = false;
+        bool inCtorInit = false;
+        bool sawStatic = false;
+        std::size_t terminator = n();
+        bool isBody = false;
+
+        while (i < n()) {
+            if (isPunct(i, "#")) {
+                i = skipDirective(i);
+                continue;
+            }
+            if (isPunct(i, "(")) {
+                if (parens == 0 && !haveParen && !sawEq &&
+                    !inCtorInit) {
+                    haveParen = true;
+                    firstParen = i;
+                    i = skipBalanced(i, "(", ")");
+                    continue;
+                }
+                i = skipBalanced(i, "(", ")");
+                continue;
+            }
+            if (isPunct(i, "[")) {
+                i = skipBalanced(i, "[", "]");
+                continue;
+            }
+            if (isPunct(i, ";")) {
+                terminator = i;
+                break;
+            }
+            if (isPunct(i, "}")) {
+                // Scope end leaked into the statement: bail out and
+                // let the main loop pop the scope.
+                return i;
+            }
+            if (isPunct(i, "=")) {
+                sawEq = true;
+                if (!haveParen)
+                    eqBeforeParen = true;
+                ++i;
+                continue;
+            }
+            if (isPunct(i, ":") && haveParen && !sawEq) {
+                inCtorInit = true;
+                ++i;
+                continue;
+            }
+            if (isPunct(i, "{")) {
+                if (haveParen && !sawEq) {
+                    // Function body (possibly after a ctor-init
+                    // group chain, qualifiers or trailing return).
+                    terminator = i;
+                    isBody = true;
+                    break;
+                }
+                // Brace initializer of a variable / field.
+                i = skipBalanced(i, "{", "}");
+                continue;
+            }
+            if (isIdent(i, "static"))
+                sawStatic = true;
+            if (isIdent(i, "try") && haveParen) {
+                // Function-try-block: `f() try { ... } catch ...`.
+                // Treat the block that follows as the body.
+                ++i;
+                continue;
+            }
+            ++i;
+        }
+        if (terminator >= n())
+            return n();
+
+        if (isBody) {
+            const std::size_t bodyEnd =
+                skipBalanced(terminator, "{", "}") - 1;
+            registerFunction(start, firstParen, terminator, bodyEnd);
+            return bodyEnd + 1;
+        }
+        // Declaration without a body.
+        if (Scope *cls = classScope()) {
+            if (haveParen && !eqBeforeParen &&
+                !isPunct(firstParen + 1, "*")) {
+                registerMethodDecl(cls, firstParen);
+            } else if (!sawStatic) {
+                registerField(cls, start, terminator, firstParen,
+                              haveParen, eqBeforeParen);
+            }
+        }
+        return terminator + 1;
+    }
+
+    /** The identifier immediately before `paren`, or npos. */
+    std::size_t nameBeforeParen(std::size_t paren) const
+    {
+        if (paren == 0)
+            return n();
+        const std::size_t i = paren - 1;
+        if (!isIdent(i) || cppKeywords().count(t()[i].text) ||
+            t()[i].text == "operator")
+            return n();
+        return i;
+    }
+
+    void registerMethodDecl(Scope *cls, std::size_t firstParen)
+    {
+        const std::size_t nameIdx = nameBeforeParen(firstParen);
+        if (nameIdx >= n())
+            return;
+        MethodDecl decl;
+        decl.name = t()[nameIdx].text;
+        decl.line = t()[nameIdx].line;
+        decl.isPublic = cls->accessPublic;
+        index.structs[cls->structId].methods.push_back(
+            std::move(decl));
+    }
+
+    void registerField(Scope *cls, std::size_t start,
+                       std::size_t terminator, std::size_t firstParen,
+                       bool haveParen, bool eqBeforeParen)
+    {
+        // Skip statements that are not instance data.
+        static const std::set<std::string> nonField = {
+            "static", "constexpr", "using",  "typedef",
+            "friend", "template",  "struct", "class",
+            "union",  "enum",      "operator"};
+        std::size_t nameIdx = n();
+        for (std::size_t i = start; i < terminator; ++i) {
+            if (isPunct(i, "(")) {
+                // A paren group after '=' is an initializer call;
+                // the declarator name was already seen.
+                if (haveParen && i == firstParen && !eqBeforeParen &&
+                    isPunct(i + 1, "*")) {
+                    // Function-pointer field: name inside the group.
+                    const std::size_t close =
+                        skipBalanced(i, "(", ")") - 1;
+                    for (std::size_t j = i + 1; j < close; ++j)
+                        if (isIdent(j))
+                            nameIdx = j;
+                    break;
+                }
+                i = skipBalanced(i, "(", ")") - 1;
+                continue;
+            }
+            if (isPunct(i, "=") || isPunct(i, "{") ||
+                isPunct(i, "[") || isPunct(i, ":"))
+                break;
+            if (isIdent(i)) {
+                if (nonField.count(t()[i].text))
+                    return;
+                if (!cppKeywords().count(t()[i].text))
+                    nameIdx = i;
+            }
+        }
+        if (nameIdx >= n())
+            return;
+        FieldDef field;
+        field.name = t()[nameIdx].text;
+        field.line = t()[nameIdx].line;
+        index.structs[cls->structId].fields.push_back(
+            std::move(field));
+    }
+
+    void registerFunction(std::size_t start, std::size_t firstParen,
+                          std::size_t bodyBegin, std::size_t bodyEnd)
+    {
+        const std::size_t nameIdx = nameBeforeParen(firstParen);
+        if (nameIdx >= n())
+            return;
+        FunctionDef fn;
+        fn.name = t()[nameIdx].text;
+        if (nameIdx > 0 && isPunct(nameIdx - 1, "~"))
+            fn.name = "~" + fn.name;
+        fn.unit = unitId;
+        fn.line = t()[nameIdx].line;
+        fn.bodyBegin = bodyBegin;
+        fn.bodyEnd = bodyEnd;
+        fn.isPublic = true;
+
+        // Class membership: an explicit `Class::name` qualifier
+        // wins; otherwise the enclosing class scope.
+        std::size_t qual = nameIdx;
+        while (qual >= 2 && isPunct(qual - 1, "::") &&
+               isIdent(qual - 2)) {
+            fn.className = t()[qual - 2].text;
+            qual -= 2;
+            break; // Last (innermost) qualifier only.
+        }
+        Scope *cls = classScope();
+        if (fn.className.empty() && cls) {
+            fn.className = index.structs[cls->structId].name;
+            fn.isPublic = cls->accessPublic;
+            // An inline definition is also a declaration.
+            MethodDecl decl;
+            decl.name = fn.name;
+            decl.line = fn.line;
+            decl.isPublic = cls->accessPublic;
+            index.structs[cls->structId].methods.push_back(decl);
+        }
+        // Tail of the return type (identifier before the qualifier
+        // chain / name), when present on this declaration.
+        if (qual >= 1 && isIdent(qual - 1) &&
+            !cppKeywords().count(t()[qual - 1].text))
+            fn.returnIdent = t()[qual - 1].text;
+
+        const std::size_t parenClose =
+            skipBalanced(firstParen, "(", ")") - 1;
+        for (std::size_t j = firstParen + 1; j < parenClose; ++j)
+            if (isIdent(j) && !cppKeywords().count(t()[j].text))
+                fn.paramIdents.push_back(t()[j].text);
+
+        (void)start;
+        index.functions.push_back(std::move(fn));
+        const std::size_t id = index.functions.size() - 1;
+        index.functionsByName[index.functions[id].name].push_back(id);
+    }
+};
+
+} // namespace
+
+std::vector<std::size_t>
+SymbolIndex::resolve(const std::string &name,
+                     const std::string &className) const
+{
+    const auto it = functionsByName.find(name);
+    if (it == functionsByName.end())
+        return {};
+    if (!className.empty()) {
+        std::vector<std::size_t> scoped;
+        for (std::size_t id : it->second)
+            if (functions[id].className == className)
+                scoped.push_back(id);
+        if (!scoped.empty())
+            return scoped;
+    }
+    return it->second;
+}
+
+SymbolIndex
+buildIndex(const std::vector<SourceUnit> &units)
+{
+    SymbolIndex index;
+    for (std::size_t u = 0; u < units.size(); ++u) {
+        Parser parser{units[u], u, index, {}};
+        parser.run();
+    }
+    return index;
+}
+
+} // namespace leolint

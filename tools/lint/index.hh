@@ -1,0 +1,113 @@
+/**
+ * @file
+ * leo-lint pass 1: the cross-translation-unit symbol index.
+ *
+ * A lightweight whole-program view built from the token streams of
+ * every scanned unit: function definitions (with qualified names,
+ * class membership, declared access and body token ranges), class /
+ * struct definitions with their field lists and method
+ * declarations. It is deliberately approximate — overload- and
+ * template-blind, resolved by name — which is exactly enough for the
+ * reachability checks in pass 2 (an over-approximation of the call
+ * graph errs toward reporting, and per-line suppressions absorb the
+ * rare false positive).
+ *
+ * The index is what lets an invariant hold *transitively*: the
+ * nothrow guarantee of the controller entry points, the determinism
+ * scope, and the hot-region allocation audit all follow calls out of
+ * the file where the entry point lives, which the old token-level
+ * linter could not see.
+ */
+
+#ifndef LEO_TOOLS_LINT_INDEX_HH
+#define LEO_TOOLS_LINT_INDEX_HH
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/tokenizer.hh"
+
+namespace leolint
+{
+
+/** One data member of an indexed class/struct. */
+struct FieldDef
+{
+    std::string name;
+    int line;
+};
+
+/** One method declaration seen inside a class body. */
+struct MethodDecl
+{
+    std::string name;
+    int line;
+    bool isPublic;
+};
+
+/** One class/struct definition with its members. */
+struct StructDef
+{
+    std::string name;
+    std::size_t unit; //!< Index into the unit list given to buildIndex.
+    int line;
+    std::vector<FieldDef> fields;
+    std::vector<MethodDecl> methods;
+};
+
+/** One function definition with a body. */
+struct FunctionDef
+{
+    std::string name;      //!< Simple name (last component).
+    std::string className; //!< Enclosing/qualifying class; "" if free.
+    std::size_t unit;      //!< Index into the unit list.
+    int line;
+    std::size_t bodyBegin; //!< Token index of the opening '{'.
+    std::size_t bodyEnd;   //!< Token index of the matching '}'.
+    bool isPublic;         //!< Access at an in-class definition site;
+                           //!< true for free and out-of-class defs
+                           //!< (resolve via the class's MethodDecls).
+    /** Identifier tokens appearing in the parameter list (type and
+     *  parameter names, unresolved — used to spot ByteWriter /
+     *  ByteReader serializer signatures and their subject struct). */
+    std::vector<std::string> paramIdents;
+    /** Identifier immediately preceding the name (the tail of the
+     *  return type), "" when unavailable. */
+    std::string returnIdent;
+
+    /** Qualified display name, e.g. "EnergyController::fit". */
+    std::string qualified() const
+    {
+        return className.empty() ? name : className + "::" + name;
+    }
+};
+
+/** The whole-program symbol index (pass 1 output). */
+struct SymbolIndex
+{
+    std::vector<FunctionDef> functions;
+    std::vector<StructDef> structs;
+    /** Simple name -> ids into `functions`. */
+    std::map<std::string, std::vector<std::size_t>> functionsByName;
+    /** Struct name -> ids into `structs` (collisions preserved). */
+    std::map<std::string, std::vector<std::size_t>> structsByName;
+
+    /** Ids of functions named `name` on class `className` ("" =
+     *  any). Falls back to all functions of that simple name when no
+     *  class-qualified match exists. */
+    std::vector<std::size_t> resolve(const std::string &name,
+                                     const std::string &className) const;
+};
+
+/**
+ * Build the symbol index over `units`. Units are identified by their
+ * position in the vector; every FunctionDef/StructDef refers back to
+ * it. Call once over the full scan set (src/, tools/, bench/).
+ */
+SymbolIndex buildIndex(const std::vector<SourceUnit> &units);
+
+} // namespace leolint
+
+#endif // LEO_TOOLS_LINT_INDEX_HH

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * leo-lint driver: two-pass project-invariant analysis for the LEO
+ * tree.
+ *
+ * Pass 0 tokenizes every file in the scan set; the per-file checks
+ * run on each unit as before. Pass 1 builds the cross-TU symbol
+ * index over the same units and pass 2 builds the approximate call
+ * graph and runs the reachability/completeness checks
+ * (nothrow-reachability, determinism-taint, hot-alloc-transitive,
+ * snapshot-completeness). See DESIGN.md "Static analysis and
+ * enforced invariants".
+ *
+ * Usage:
+ *   leo_lint [--root DIR] [--json] [--sarif FILE] [--list-checks]
+ *            [paths...]
+ *
+ * With no paths, scans src/, tools/, bench/ and tests/ under the
+ * root (default: current directory), skipping tests/lint_fixtures/
+ * and build directories. `--sarif FILE` additionally writes a SARIF
+ * 2.1.0 report for CI annotation upload. Exit status: 0 clean, 1
+ * findings, 2 usage or I/O error.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/callgraph.hh"
+#include "lint/checks.hh"
+#include "lint/index.hh"
+#include "lint/tokenizer.hh"
+
+namespace
+{
+
+/** JSON string escaping for the --json / --sarif reports. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+bool
+lintableFile(const std::filesystem::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".h" ||
+           ext == ".cpp" || ext == ".hpp";
+}
+
+bool
+excludedPath(const std::string &rel)
+{
+    return rel.find("lint_fixtures") != std::string::npos ||
+           rel.rfind("build", 0) == 0 ||
+           rel.find("/build") != std::string::npos ||
+           rel.find("CMakeFiles") != std::string::npos;
+}
+
+/** Write the SARIF 2.1.0 report for CI annotation upload. */
+bool
+writeSarif(const std::filesystem::path &path,
+           const std::vector<leolint::Diagnostic> &findings)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    out << "{\n"
+        << "  \"$schema\": "
+           "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+        << "  \"version\": \"2.1.0\",\n"
+        << "  \"runs\": [\n    {\n"
+        << "      \"tool\": {\n        \"driver\": {\n"
+        << "          \"name\": \"leo-lint\",\n"
+        << "          \"informationUri\": "
+           "\"DESIGN.md#static-analysis\",\n"
+        << "          \"rules\": [";
+    bool first = true;
+    auto emitRules = [&](const std::vector<leolint::CheckInfo> &set) {
+        for (const leolint::CheckInfo &c : set) {
+            out << (first ? "\n" : ",\n")
+                << "            {\"id\": \"" << jsonEscape(c.name)
+                << "\", \"shortDescription\": {\"text\": \""
+                << jsonEscape(c.description) << "\"}}";
+            first = false;
+        }
+    };
+    emitRules(leolint::fileChecks());
+    emitRules(leolint::programChecks());
+    out << "\n          ]\n        }\n      },\n"
+        << "      \"results\": [";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const leolint::Diagnostic &d = findings[i];
+        std::string text = d.message;
+        for (const std::string &frame : d.chain)
+            text += "\n  via " + frame;
+        out << (i ? ",\n" : "\n")
+            << "        {\"ruleId\": \"" << jsonEscape(d.check)
+            << "\", \"level\": \"error\", \"message\": {\"text\": \""
+            << jsonEscape(text)
+            << "\"}, \"locations\": [{\"physicalLocation\": "
+               "{\"artifactLocation\": {\"uri\": \""
+            << jsonEscape(d.file)
+            << "\"}, \"region\": {\"startLine\": " << d.line
+            << "}}}]}";
+    }
+    out << (findings.empty() ? "" : "\n      ") << "]\n    }\n  ]\n}\n";
+    return static_cast<bool>(out);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    namespace fs = std::filesystem;
+    fs::path root = fs::current_path();
+    bool json = false;
+    std::string sarifPath;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--sarif" && i + 1 < argc) {
+            sarifPath = argv[++i];
+        } else if (arg == "--list-checks") {
+            for (const leolint::CheckInfo &c : leolint::fileChecks())
+                std::cout << c.name << "\t" << c.description << "\n";
+            for (const leolint::CheckInfo &c :
+                 leolint::programChecks())
+                std::cout << c.name << "\t" << c.description << "\n";
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout
+                << "usage: leo_lint [--root DIR] [--json] "
+                   "[--sarif FILE] [--list-checks] [paths...]\n"
+                   "Two-pass project-invariant static analysis; see "
+                   "DESIGN.md \"Static analysis and enforced "
+                   "invariants\".\n";
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "leo_lint: unknown option '" << arg << "'\n";
+            return 2;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty())
+        paths = {"src", "tools", "bench", "tests"};
+
+    std::error_code ec;
+    root = fs::canonical(root, ec);
+    if (ec) {
+        std::cerr << "leo_lint: bad root: " << ec.message() << "\n";
+        return 2;
+    }
+
+    // Collect the file set (sorted for stable output).
+    std::vector<fs::path> files;
+    for (const std::string &p : paths) {
+        const fs::path base =
+            fs::path(p).is_absolute() ? fs::path(p) : root / p;
+        if (fs::is_regular_file(base, ec)) {
+            files.push_back(base);
+            continue;
+        }
+        if (!fs::is_directory(base, ec))
+            continue; // Optional tree (e.g. no tests/ checkout).
+        for (auto it = fs::recursive_directory_iterator(base, ec);
+             !ec && it != fs::recursive_directory_iterator(); ++it) {
+            if (it->is_regular_file() && lintableFile(it->path()))
+                files.push_back(it->path());
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    // Pass 0: tokenize everything once; the file checks and the
+    // whole-program passes share the token streams.
+    const leolint::LintContext ctx = leolint::makeContext(root);
+    std::vector<leolint::SourceUnit> units;
+    for (const fs::path &f : files) {
+        std::string rel = fs::relative(f, root, ec).generic_string();
+        if (ec || rel.rfind("..", 0) == 0)
+            rel = f.generic_string();
+        if (excludedPath(rel))
+            continue;
+        const auto src = leolint::readFile(f);
+        if (!src) {
+            std::cerr << "leo_lint: cannot read " << f << "\n";
+            return 2;
+        }
+        units.push_back(leolint::tokenize(rel, *src));
+    }
+
+    std::vector<leolint::Diagnostic> findings;
+    std::size_t suppressed = 0;
+    for (const leolint::SourceUnit &unit : units) {
+        std::vector<leolint::Diagnostic> d =
+            leolint::lintUnit(unit, ctx, &suppressed);
+        findings.insert(findings.end(),
+                        std::make_move_iterator(d.begin()),
+                        std::make_move_iterator(d.end()));
+    }
+
+    // Passes 1 + 2: symbol index, call graph, reachability checks.
+    const leolint::SymbolIndex index = leolint::buildIndex(units);
+    const leolint::CallGraph graph =
+        leolint::buildCallGraph(units, index);
+    std::vector<leolint::Diagnostic> program =
+        leolint::lintProgram(units, index, graph, &suppressed);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(program.begin()),
+                    std::make_move_iterator(program.end()));
+    leolint::sortDiagnostics(findings);
+
+    if (!sarifPath.empty() && !writeSarif(sarifPath, findings)) {
+        std::cerr << "leo_lint: cannot write SARIF to " << sarifPath
+                  << "\n";
+        return 2;
+    }
+
+    if (json) {
+        std::cout << "{\n  \"diagnostics\": [";
+        for (std::size_t i = 0; i < findings.size(); ++i) {
+            const leolint::Diagnostic &d = findings[i];
+            std::cout << (i ? ",\n    " : "\n    ") << "{\"file\": \""
+                      << jsonEscape(d.file) << "\", \"line\": "
+                      << d.line << ", \"check\": \""
+                      << jsonEscape(d.check) << "\", \"message\": \""
+                      << jsonEscape(d.message) << "\"";
+            if (!d.chain.empty()) {
+                std::cout << ", \"chain\": [";
+                for (std::size_t k = 0; k < d.chain.size(); ++k)
+                    std::cout << (k ? ", " : "") << "\""
+                              << jsonEscape(d.chain[k]) << "\"";
+                std::cout << "]";
+            }
+            std::cout << "}";
+        }
+        std::cout << (findings.empty() ? "" : "\n  ") << "],\n"
+                  << "  \"filesScanned\": " << units.size() << ",\n"
+                  << "  \"suppressed\": " << suppressed << ",\n"
+                  << "  \"clean\": "
+                  << (findings.empty() ? "true" : "false") << "\n}\n";
+    } else {
+        for (const leolint::Diagnostic &d : findings) {
+            std::cout << d.file << ":" << d.line << ": [" << d.check
+                      << "] " << d.message << "\n";
+            for (const std::string &frame : d.chain)
+                std::cout << "    via " << frame << "\n";
+        }
+        std::cout << "leo-lint: " << findings.size() << " issue"
+                  << (findings.size() == 1 ? "" : "s") << ", "
+                  << suppressed << " suppressed, " << units.size()
+                  << " files scanned\n";
+    }
+    return findings.empty() ? 0 : 1;
+}

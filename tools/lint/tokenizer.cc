@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Implementation of the leo-lint tokenizer (see tokenizer.hh).
+ */
+
+#include "lint/tokenizer.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace leolint
+{
+
+namespace
+{
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Trim ASCII whitespace from both ends. */
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/** Parse a `leo-lint:` directive found in a line comment. */
+void
+applyDirective(SourceUnit &unit, const std::string &comment, int line,
+               std::vector<int> &hot_stack)
+{
+    const std::string marker = "leo-lint:";
+    const std::size_t at = comment.find(marker);
+    if (at == std::string::npos)
+        return;
+    const std::string body = trim(comment.substr(at + marker.size()));
+    const auto parseNames = [&](std::size_t prefix,
+                                std::set<std::string> &into) {
+        const std::size_t close = body.find(')');
+        if (close == std::string::npos || close < prefix)
+            return;
+        std::string names = body.substr(prefix, close - prefix);
+        std::replace(names.begin(), names.end(), ',', ' ');
+        std::istringstream in(names);
+        std::string name;
+        while (in >> name)
+            into.insert(name);
+    };
+    if (body.rfind("allow(", 0) == 0) {
+        parseNames(6, unit.allows[line]);
+    } else if (body.rfind("allow-file(", 0) == 0) {
+        // Whole-file suppression, for files whose purpose is to
+        // violate a check (e.g. tests exercising synthetic names).
+        parseNames(11, unit.fileAllows);
+    } else if (body.rfind("hot-begin", 0) == 0) {
+        hot_stack.push_back(line);
+    } else if (body.rfind("hot-end", 0) == 0) {
+        if (hot_stack.empty()) {
+            unit.danglingHotMarkers.push_back(line);
+        } else {
+            unit.hotRegions.push_back({hot_stack.back(), line});
+            hot_stack.pop_back();
+        }
+    }
+}
+
+/** True when `word` is a raw-string encoding prefix ending in R. */
+bool
+rawStringPrefix(const std::string &word)
+{
+    return word == "R" || word == "LR" || word == "uR" ||
+           word == "UR" || word == "u8R";
+}
+
+} // namespace
+
+bool
+SourceUnit::lineAllows(int line, const std::string &check) const
+{
+    if (fileAllows.count(check) || fileAllows.count("all"))
+        return true;
+    const auto it = allows.find(line);
+    return it != allows.end() &&
+           (it->second.count(check) || it->second.count("all"));
+}
+
+bool
+SourceUnit::inHotRegion(int line) const
+{
+    for (const HotRegion &r : hotRegions)
+        if (line >= r.begin && line <= r.end)
+            return true;
+    return false;
+}
+
+SourceUnit
+tokenize(const std::string &rel, const std::string &src)
+{
+    SourceUnit unit;
+    unit.rel = rel;
+    std::vector<int> hot_stack;
+    int line = 1;
+    std::size_t i = 0;
+    const std::size_t n = src.size();
+
+    auto advanceLine = [&](char c) {
+        if (c == '\n')
+            ++line;
+    };
+
+    // Consume R"delim(...)delim" starting at the opening quote
+    // (i points at the '"'); pushes one String token.
+    auto lexRawString = [&]() {
+        std::size_t p = i + 1;
+        std::string delim;
+        while (p < n && src[p] != '(')
+            delim += src[p++];
+        const std::string close = ")" + delim + "\"";
+        const std::size_t end = src.find(close, p);
+        const int start_line = line;
+        const std::size_t stop =
+            end == std::string::npos ? n : end + close.size();
+        std::string text = src.substr(
+            p + 1, (end == std::string::npos ? n : end) - p - 1);
+        for (std::size_t q = i; q < stop; ++q)
+            advanceLine(src[q]);
+        unit.tokens.push_back(
+            {TokenKind::String, std::move(text), start_line});
+        i = stop;
+    };
+
+    while (i < n) {
+        const char c = src[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Line comment (may carry a lint directive). A backslash
+        // immediately before the newline splices the next line into
+        // the comment (translation phase 2) — without this, code
+        // after a continued comment would be tokenized as live.
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            const int start_line = line;
+            std::size_t eol = src.find('\n', i);
+            while (eol != std::string::npos && eol > i &&
+                   src[eol - 1] == '\\') {
+                ++line;
+                eol = src.find('\n', eol + 1);
+            }
+            const std::string text =
+                src.substr(i, (eol == std::string::npos ? n : eol) - i);
+            applyDirective(unit, text, start_line, hot_stack);
+            i = eol == std::string::npos ? n : eol;
+            continue;
+        }
+        // Block comment. Does not nest: the first */ ends it (as in
+        // the compiler), so anything after that is code again.
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            i += 2;
+            while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+                advanceLine(src[i]);
+                ++i;
+            }
+            i = std::min(n, i + 2);
+            continue;
+        }
+        // String / character literal.
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            std::string text;
+            ++i;
+            while (i < n && src[i] != quote) {
+                if (src[i] == '\\' && i + 1 < n) {
+                    text += src[i];
+                    text += src[i + 1];
+                    advanceLine(src[i + 1]);
+                    i += 2;
+                    continue;
+                }
+                advanceLine(src[i]);
+                text += src[i++];
+            }
+            ++i; // Closing quote.
+            unit.tokens.push_back({quote == '"' ? TokenKind::String
+                                                : TokenKind::Character,
+                                   std::move(text), line});
+            continue;
+        }
+        // Identifier / keyword — or the prefix of a raw string
+        // (R"(..)", LR"(..)", u8R"(..)", ...), which must be lexed
+        // as one literal so `//` inside it never looks like a
+        // comment.
+        if (identStart(c)) {
+            std::size_t b = i;
+            while (i < n && identChar(src[i]))
+                ++i;
+            std::string word = src.substr(b, i - b);
+            if (i < n && src[i] == '"' && rawStringPrefix(word)) {
+                lexRawString();
+                continue;
+            }
+            unit.tokens.push_back(
+                {TokenKind::Identifier, std::move(word), line});
+            continue;
+        }
+        // Number (simplified: digits, dots, exponent tails).
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+            std::size_t b = i;
+            while (i < n &&
+                   (identChar(src[i]) || src[i] == '.' ||
+                    ((src[i] == '+' || src[i] == '-') && i > b &&
+                     (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                      src[i - 1] == 'p' || src[i - 1] == 'P')))) {
+                ++i;
+            }
+            unit.tokens.push_back(
+                {TokenKind::Number, src.substr(b, i - b), line});
+            continue;
+        }
+        // Punctuation; keep `::` and `->` whole for the checks.
+        if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+            unit.tokens.push_back({TokenKind::Punct, "::", line});
+            i += 2;
+            continue;
+        }
+        if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+            unit.tokens.push_back({TokenKind::Punct, "->", line});
+            i += 2;
+            continue;
+        }
+        unit.tokens.push_back({TokenKind::Punct, std::string(1, c), line});
+        ++i;
+    }
+    for (int l : hot_stack)
+        unit.danglingHotMarkers.push_back(l);
+    return unit;
+}
+
+std::optional<std::string>
+readFile(const std::filesystem::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+} // namespace leolint

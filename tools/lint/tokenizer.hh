@@ -1,0 +1,94 @@
+/**
+ * @file
+ * leo-lint pass 0: the tokenizer.
+ *
+ * A hand-rolled C++ lexer (no libclang dependency; the tool builds
+ * with the tree's own toolchain and nothing else) that turns one
+ * source file into a token stream plus its lint directives. Comments
+ * are consumed — line comments are scanned for `leo-lint:`
+ * directives first — and string/character literals become single
+ * tokens so no check ever mistakes quoted text for code.
+ *
+ * Hardened corners (each pinned by a fixture triple in
+ * tests/lint_fixtures/):
+ *  - raw strings, including encoding-prefixed ones (`LR"(..)"`,
+ *    `u8R"(..)"`), may contain `//`, `/ *`, quotes and lint
+ *    directives without confusing the lexer or the directive parser;
+ *  - a line comment whose last character is a backslash splices the
+ *    next line into the comment (translation phase 2), so code
+ *    "hidden" behind a continued comment is never tokenized;
+ *  - block comments do not nest: the first `* /` ends the comment
+ *    and everything after it is code again (matching the compiler).
+ */
+
+#ifndef LEO_TOOLS_LINT_TOKENIZER_HH
+#define LEO_TOOLS_LINT_TOKENIZER_HH
+
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace leolint
+{
+
+/** Lexical class of a token. */
+enum class TokenKind
+{
+    Identifier, //!< Identifiers and keywords.
+    Number,     //!< Numeric literals.
+    String,     //!< String literal (text excludes the quotes).
+    Character,  //!< Character literal.
+    Punct       //!< Punctuation; `::` and `->` are single tokens.
+};
+
+/** One token with its source line. */
+struct Token
+{
+    TokenKind kind;
+    std::string text;
+    int line;
+};
+
+/** An inclusive line range bracketed by hot-begin/hot-end markers. */
+struct HotRegion
+{
+    int begin;
+    int end;
+};
+
+/** A tokenized source file plus its lint directives. */
+struct SourceUnit
+{
+    std::string rel; //!< Root-relative path with '/' separators.
+    std::vector<Token> tokens;
+    /** Line -> checks allowed ("all" allows everything). */
+    std::map<int, std::set<std::string>> allows;
+    /** Checks allowed for the whole file via `allow-file(...)`. */
+    std::set<std::string> fileAllows;
+    std::vector<HotRegion> hotRegions;
+    /** Lines of unmatched hot markers (reported as findings). */
+    std::vector<int> danglingHotMarkers;
+
+    /** True when `line` carries `allow(check)` or `allow(all)`, or
+     *  the whole file carries a matching `allow-file(...)`. */
+    bool lineAllows(int line, const std::string &check) const;
+
+    /** True when `line` falls inside a hot-begin/hot-end region. */
+    bool inHotRegion(int line) const;
+};
+
+/**
+ * Tokenize one source file. `rel` is the root-relative path used by
+ * the path-scoped checks (e.g. "src/estimators/foo.cc").
+ */
+SourceUnit tokenize(const std::string &rel, const std::string &src);
+
+/** Read a whole file; nullopt on I/O failure. */
+std::optional<std::string> readFile(const std::filesystem::path &path);
+
+} // namespace leolint
+
+#endif // LEO_TOOLS_LINT_TOKENIZER_HH
